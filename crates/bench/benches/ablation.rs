@@ -1,0 +1,79 @@
+//! Ablation benchmark for design choices the paper calls out:
+//!
+//! * the Big/Little slot ratio (the paper uses 2 Big + 4 Little but notes any
+//!   configuration is possible), and
+//! * the effect of the dual-core hypervisor split (VersaSlot) versus a single
+//!   scheduling core (Nimblock-style) on the same uniform-slot board.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versaslot_core::config::SystemConfig;
+use versaslot_core::engine::SharingSimulator;
+use versaslot_core::metrics::pooled_mean_response_ms;
+use versaslot_core::policy::versaslot::VersaSlotPolicy;
+use versaslot_fpga::board::BoardSpec;
+use versaslot_fpga::cpu::CoreAssignment;
+use versaslot_fpga::slot::SlotLayout;
+use versaslot_workload::{generate_workload, Congestion, WorkloadConfig};
+
+fn run_board(board: BoardSpec) -> f64 {
+    let workload = generate_workload(
+        &WorkloadConfig::paper_default(Congestion::Standard).with_shape(2, 10),
+    );
+    let reports: Vec<_> = workload
+        .sequences
+        .iter()
+        .map(|sequence| {
+            let mut sim = SharingSimulator::new(
+                SystemConfig::single_board(board.clone()),
+                workload.suite.clone(),
+                &sequence.arrivals,
+            );
+            sim.run(&mut VersaSlotPolicy::new())
+        })
+        .collect();
+    pooled_mean_response_ms(&reports)
+}
+
+fn ratio_board(big: u32, little: u32) -> BoardSpec {
+    BoardSpec::zcu216_big_little().with_layout(SlotLayout::with_counts(
+        big,
+        little,
+        BoardSpec::zcu216_little_capacity(),
+    ))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Slot-ratio ablation: each Big slot displaces two Little slots.
+    eprintln!("\nAblation — Big/Little slot ratio (Standard congestion, mean response in ms):");
+    for (big, little) in [(0u32, 8u32), (1, 6), (2, 4), (3, 2)] {
+        eprintln!(
+            "  {big} Big + {little} Little: {:.0} ms",
+            run_board(ratio_board(big, little))
+        );
+    }
+    eprintln!("Ablation — hypervisor core split (Only.Little board):");
+    eprintln!(
+        "  dual-core:   {:.0} ms",
+        run_board(BoardSpec::zcu216_only_little())
+    );
+    eprintln!(
+        "  single-core: {:.0} ms",
+        run_board(BoardSpec::zcu216_only_little().with_cores(CoreAssignment::SingleCore))
+    );
+
+    let mut group = c.benchmark_group("ablation_slot_ratio");
+    group.sample_size(10);
+    for (big, little) in [(0u32, 8u32), (2, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{big}B{little}L")),
+            &(big, little),
+            |b, &(big, little)| {
+                b.iter(|| run_board(ratio_board(big, little)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark regenerating Figure 5 (relative response time reduction).
+//!
+//! The measured quantity is the wall-clock cost of simulating one congestion
+//! condition across all six schedulers; the figure itself is printed once at the
+//! start so `cargo bench` output contains the reproduced rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versaslot_bench::{figure5, format_figure5, run_matrix, Shape};
+use versaslot_workload::Congestion;
+
+fn bench_fig5(c: &mut Criterion) {
+    // Print the reproduced figure (reduced shape keeps bench time reasonable).
+    let rows = figure5(Shape::quick());
+    eprintln!("\n{}", format_figure5(&rows));
+
+    let mut group = c.benchmark_group("fig5_response_time");
+    group.sample_size(10);
+    for congestion in Congestion::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(congestion.label()),
+            &congestion,
+            |b, &congestion| {
+                b.iter(|| run_matrix(congestion, Shape::quick()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

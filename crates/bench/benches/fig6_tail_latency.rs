@@ -1,0 +1,19 @@
+//! Criterion benchmark regenerating Figure 6 (P95/P99 tail response time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use versaslot_bench::{figure6, format_figure6, Shape};
+
+fn bench_fig6(c: &mut Criterion) {
+    let rows = figure6(Shape::quick());
+    eprintln!("\n{}", format_figure6(&rows));
+
+    let mut group = c.benchmark_group("fig6_tail_latency");
+    group.sample_size(10);
+    group.bench_function("quick_shape", |b| {
+        b.iter(|| figure6(Shape::quick()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

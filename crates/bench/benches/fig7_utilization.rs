@@ -1,0 +1,18 @@
+//! Criterion benchmark regenerating Figure 7 (3-in-1 utilization increase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use versaslot_bench::{figure7, format_figure7};
+
+fn bench_fig7(c: &mut Criterion) {
+    let fig = figure7();
+    eprintln!("\n{}", format_figure7(&fig));
+
+    let mut group = c.benchmark_group("fig7_utilization");
+    group.bench_function("dataset", |b| {
+        b.iter(figure7);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmark regenerating Figure 8 (D_switch driven cross-board
+//! switching and live migration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use versaslot_bench::{figure8, format_figure8, Shape};
+
+fn bench_fig8(c: &mut Criterion) {
+    let quick = Shape {
+        sequences: 1,
+        apps_per_sequence: 30,
+    };
+    let fig = figure8(quick);
+    eprintln!("\n{}", format_figure8(&fig));
+
+    let mut group = c.benchmark_group("fig8_switching");
+    group.sample_size(10);
+    group.bench_function("quick_shape", |b| {
+        b.iter(|| figure8(quick));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Figure 5 of the paper (average relative response time reduction
+//! under the four congestion conditions) at the paper's workload size.
+//!
+//! Pass `--quick` for a reduced workload, `--json` for machine-readable output.
+
+use versaslot_bench::{figure5, format_figure5, Shape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shape = if args.iter().any(|a| a == "--quick") {
+        Shape::quick()
+    } else {
+        Shape::paper()
+    };
+    let rows = figure5(shape);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("figure 5 rows serialise")
+        );
+    } else {
+        print!("{}", format_figure5(&rows));
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 6 of the paper (P95/P99 tail response time normalised to the
+//! Baseline) at the paper's workload size.
+//!
+//! Pass `--quick` for a reduced workload, `--json` for machine-readable output.
+
+use versaslot_bench::{figure6, format_figure6, Shape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shape = if args.iter().any(|a| a == "--quick") {
+        Shape::quick()
+    } else {
+        Shape::paper()
+    };
+    let rows = figure6(shape);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("figure 6 rows serialise")
+        );
+    } else {
+        print!("{}", format_figure6(&rows));
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 7 of the paper (resource utilization increase of 3-in-1
+//! tasks, plus the Image Compression task-level detail).
+//!
+//! Pass `--json` for machine-readable output.
+
+use versaslot_bench::{figure7, format_figure7};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fig = figure7();
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&fig).expect("figure 7 serialises")
+        );
+    } else {
+        print!("{}", format_figure7(&fig));
+    }
+}

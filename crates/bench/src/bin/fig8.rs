@@ -1,0 +1,27 @@
+//! Regenerates Figure 8 of the paper (D_switch trace and cross-board switching
+//! response-time gain over Only.Little) at the paper's workload size.
+//!
+//! Pass `--quick` for a reduced workload, `--json` for machine-readable output.
+
+use versaslot_bench::{figure8, format_figure8, Shape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shape = if args.iter().any(|a| a == "--quick") {
+        Shape {
+            sequences: 1,
+            apps_per_sequence: 30,
+        }
+    } else {
+        Shape::paper_switching()
+    };
+    let fig = figure8(shape);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&fig).expect("figure 8 serialises")
+        );
+    } else {
+        print!("{}", format_figure8(&fig));
+    }
+}

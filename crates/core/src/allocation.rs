@@ -1,0 +1,400 @@
+//! Slot allocation (Algorithm 1 of the paper).
+//!
+//! For the heterogeneous Big.Little architecture the paper proposes an adaptive
+//! allocation built from four steps:
+//!
+//! 1. **Rebinding** — applications bound to Little slots that have not started
+//!    executing are unbound back to the waiting list whenever a Big slot is idle,
+//!    so Big slots never sit empty while Little slots are overloaded.
+//! 2. **Primary allocation** — waiting applications are bound first to Big slots
+//!    (if they can bundle tasks), otherwise to their ILP-optimal number of Little
+//!    slots.
+//! 3. **Redistribution** — leftover Little slots are handed to already-bound
+//!    applications (front of the runnable queue first) up to their unfinished task
+//!    count, avoiding idle slots.
+//! 4. Applications bound to Big slots stay there until all their tasks complete
+//!    (to avoid Big-slot blocking from cross-slot dependencies); preemption applies
+//!    only to Little slots.
+//!
+//! This module implements the algorithm as a pure function over a small state
+//! snapshot so it can be unit-tested independently of the simulator; the
+//! `versaslot` policy drives it every scheduling pass.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use versaslot_workload::AppId;
+
+/// Per-application inputs to Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppAllocInfo {
+    /// Whether 3-in-1 bundle bitstreams exist for this application.
+    pub can_bundle: bool,
+    /// `N_T_Ai`: unfinished ready tasks of the application.
+    pub unfinished_tasks: u32,
+    /// `O_L`: ILP-optimal number of Little slots for its pipeline.
+    pub optimal_little: u32,
+    /// `O_B`: optimal number of Big slots (1 for bundle-capable applications).
+    pub optimal_big: u32,
+    /// Whether the application has started executing (issued a PR or run an item).
+    pub started: bool,
+}
+
+/// `R_Ai`: the Big/Little slots allocated to one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Number of Big slots the application may occupy.
+    pub big: u32,
+    /// Number of Little slots the application may occupy.
+    pub little: u32,
+}
+
+/// The allocator's persistent state: which applications are bound where, and their
+/// current allocations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocationState {
+    /// `S_Big`: applications bound to Big slots, in binding order.
+    pub bound_big: Vec<AppId>,
+    /// `S_Little`: applications bound to Little slots, in binding order (front of
+    /// the runnable queue first).
+    pub bound_little: Vec<AppId>,
+    /// `C_wait`: applications waiting for an allocation, in arrival order.
+    pub waiting: Vec<AppId>,
+    /// Current `R_Ai` for every bound application.
+    pub allocations: BTreeMap<AppId, Allocation>,
+}
+
+impl AllocationState {
+    /// Creates an empty allocator state.
+    pub fn new() -> Self {
+        AllocationState::default()
+    }
+
+    /// Adds a newly arrived application to the waiting list.
+    pub fn add_waiting(&mut self, app: AppId) {
+        if !self.waiting.contains(&app) {
+            self.waiting.push(app);
+        }
+    }
+
+    /// Removes a completed application from all lists.
+    pub fn remove(&mut self, app: AppId) {
+        self.bound_big.retain(|a| *a != app);
+        self.bound_little.retain(|a| *a != app);
+        self.waiting.retain(|a| *a != app);
+        self.allocations.remove(&app);
+    }
+
+    /// Returns the current allocation of `app` (zero if unbound).
+    pub fn allocation(&self, app: AppId) -> Allocation {
+        self.allocations.get(&app).copied().unwrap_or_default()
+    }
+
+    /// Returns `true` if `app` is bound to Big slots.
+    pub fn is_bound_big(&self, app: AppId) -> bool {
+        self.bound_big.contains(&app)
+    }
+
+    /// Returns `true` if `app` is bound to Little slots.
+    pub fn is_bound_little(&self, app: AppId) -> bool {
+        self.bound_little.contains(&app)
+    }
+}
+
+/// Runs one pass of Algorithm 1.
+///
+/// * `big_total` / `little_total` — slots of each kind on the active board.
+/// * `big_free` / `little_free` — slots of each kind that are currently idle.
+/// * `info` — per-application inputs; applications missing from `info` are treated
+///   as completed and dropped from the state.
+///
+/// Returns the updated allocations for every bound application.
+pub fn allocate(
+    state: &mut AllocationState,
+    big_total: u32,
+    little_total: u32,
+    big_free: u32,
+    little_free: u32,
+    info: &BTreeMap<AppId, AppAllocInfo>,
+) -> BTreeMap<AppId, Allocation> {
+    // Drop completed applications.
+    let stale: Vec<AppId> = state
+        .bound_big
+        .iter()
+        .chain(state.bound_little.iter())
+        .chain(state.waiting.iter())
+        .filter(|a| !info.contains_key(a) || info[a].unfinished_tasks == 0)
+        .copied()
+        .collect();
+    for app in stale {
+        state.remove(app);
+    }
+
+    // Line 1: Big slots still available for binding new applications (slots already
+    // promised to bound applications with remaining work are not available).
+    let bound_big_active: u32 = state
+        .bound_big
+        .iter()
+        .filter(|a| info.get(a).map(|i| i.unfinished_tasks > 0).unwrap_or(false))
+        .map(|a| state.allocation(*a).big.max(1))
+        .sum();
+    let mut big_avail = big_total.saturating_sub(bound_big_active).min(big_free);
+
+    // Line 2-3: nothing to hand out.
+    if big_avail == 0 && little_free == 0 {
+        return state.allocations.clone();
+    }
+
+    // Lines 4-6: rebinding — unbind not-yet-started Little-bound apps when a Big
+    // slot could take them, returning them to the waiting list.
+    if big_avail > 0 {
+        let mut rebound = Vec::new();
+        for app in &state.bound_little {
+            let app_info = &info[app];
+            if !app_info.started && app_info.can_bundle {
+                rebound.push(*app);
+            }
+        }
+        for app in rebound {
+            state.bound_little.retain(|a| *a != app);
+            state.allocations.remove(&app);
+            // Rebound apps go to the front of the waiting list: they were admitted
+            // before the apps currently waiting.
+            state.waiting.insert(0, app);
+        }
+    }
+
+    // Line 7: Little slots not yet promised to bound applications.
+    let promised: u32 = state
+        .bound_little
+        .iter()
+        .map(|a| {
+            let app_info = &info[a];
+            state.allocation(*a).little.min(app_info.unfinished_tasks)
+        })
+        .sum();
+    let mut little_left = little_total.saturating_sub(promised);
+
+    // Lines 7-13: primary allocation for waiting applications, in order.
+    let waiting_snapshot: Vec<AppId> = state.waiting.clone();
+    for app in waiting_snapshot {
+        let app_info = &info[&app];
+        if big_avail > 0 && app_info.can_bundle {
+            // Lines 8-10: bind to Big slots, up to the application's optimal count
+            // `O_B` and the slots still available.
+            let grant = app_info.optimal_big.max(1).min(big_avail);
+            state.waiting.retain(|a| *a != app);
+            state.bound_big.push(app);
+            state.allocations.insert(
+                app,
+                Allocation {
+                    big: grant,
+                    little: 0,
+                },
+            );
+            big_avail -= grant;
+            continue;
+        }
+        if little_free > 0 && little_left > 0 {
+            // Lines 11-13: bind to Little slots.
+            let grant = app_info
+                .optimal_little
+                .max(1)
+                .min(app_info.unfinished_tasks)
+                .min(little_left);
+            state.waiting.retain(|a| *a != app);
+            state.bound_little.push(app);
+            state.allocations.insert(app, Allocation { big: 0, little: grant });
+            little_left -= grant;
+        }
+    }
+
+    // Lines 14-18: redistribute leftover Little slots to bound applications.
+    if little_left > 0 {
+        let bound_snapshot: Vec<AppId> = state.bound_little.clone();
+        for app in bound_snapshot {
+            if little_left == 0 {
+                break;
+            }
+            let app_info = &info[&app];
+            let current = state.allocation(app);
+            let max_useful = app_info.unfinished_tasks;
+            if current.little >= max_useful {
+                continue;
+            }
+            let extra = (max_useful - current.little).min(little_left);
+            state.allocations.insert(
+                app,
+                Allocation {
+                    big: 0,
+                    little: current.little + extra,
+                },
+            );
+            little_left -= extra;
+        }
+    }
+
+    state.allocations.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(can_bundle: bool, tasks: u32, o_l: u32, started: bool) -> AppAllocInfo {
+        AppAllocInfo {
+            can_bundle,
+            unfinished_tasks: tasks,
+            optimal_little: o_l,
+            optimal_big: 1,
+            started,
+        }
+    }
+
+    fn big_little_totals() -> (u32, u32) {
+        (2, 4)
+    }
+
+    #[test]
+    fn bundleable_apps_prefer_big_slots() {
+        let (bt, lt) = big_little_totals();
+        let mut state = AllocationState::new();
+        state.add_waiting(AppId(0));
+        state.add_waiting(AppId(1));
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, false));
+        apps.insert(AppId(1), info(true, 3, 2, false));
+
+        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
+        assert_eq!(result[&AppId(0)], Allocation { big: 1, little: 0 });
+        assert_eq!(result[&AppId(1)], Allocation { big: 1, little: 0 });
+        assert!(state.is_bound_big(AppId(0)));
+        assert!(state.is_bound_big(AppId(1)));
+        assert!(state.waiting.is_empty());
+    }
+
+    #[test]
+    fn overflow_apps_fall_back_to_little_slots() {
+        let (bt, lt) = big_little_totals();
+        let mut state = AllocationState::new();
+        for i in 0..3 {
+            state.add_waiting(AppId(i));
+        }
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, false));
+        apps.insert(AppId(1), info(true, 6, 3, false));
+        apps.insert(AppId(2), info(true, 6, 3, false));
+
+        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
+        // Only two Big slots exist: the third app gets Little slots instead — its
+        // optimal 3 from the primary allocation plus the one leftover Little slot
+        // from redistribution.
+        assert_eq!(result[&AppId(2)].big, 0);
+        assert_eq!(result[&AppId(2)].little, 4);
+        assert!(state.is_bound_little(AppId(2)));
+    }
+
+    #[test]
+    fn redistribution_uses_leftover_little_slots() {
+        // Only.Little board: 8 Little slots, one app wanting 3 optimally but having
+        // 6 unfinished tasks — redistribution tops it up to 6.
+        let mut state = AllocationState::new();
+        state.add_waiting(AppId(0));
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, false));
+
+        let result = allocate(&mut state, 0, 8, 0, 8, &apps);
+        assert_eq!(result[&AppId(0)], Allocation { big: 0, little: 6 });
+    }
+
+    #[test]
+    fn redistribution_prefers_front_of_queue() {
+        let mut state = AllocationState::new();
+        state.add_waiting(AppId(0));
+        state.add_waiting(AppId(1));
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(false, 6, 2, false));
+        apps.insert(AppId(1), info(false, 6, 2, false));
+
+        let result = allocate(&mut state, 0, 8, 0, 8, &apps);
+        // Primary: 2 + 2 slots; redistribution hands the remaining 4 to the front
+        // app first (up to its 6 tasks), then the second app.
+        assert_eq!(result[&AppId(0)].little, 6);
+        assert_eq!(result[&AppId(1)].little, 2);
+    }
+
+    #[test]
+    fn rebinding_moves_unstarted_little_apps_to_big() {
+        let (bt, lt) = big_little_totals();
+        let mut state = AllocationState::new();
+        // App 0 was previously bound to Little slots but has not started.
+        state.bound_little.push(AppId(0));
+        state
+            .allocations
+            .insert(AppId(0), Allocation { big: 0, little: 3 });
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, false));
+
+        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
+        assert!(state.is_bound_big(AppId(0)));
+        assert!(!state.is_bound_little(AppId(0)));
+        assert_eq!(result[&AppId(0)], Allocation { big: 1, little: 0 });
+    }
+
+    #[test]
+    fn started_little_apps_are_not_rebound() {
+        let (bt, lt) = big_little_totals();
+        let mut state = AllocationState::new();
+        state.bound_little.push(AppId(0));
+        state
+            .allocations
+            .insert(AppId(0), Allocation { big: 0, little: 3 });
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, true));
+
+        allocate(&mut state, bt, lt, bt, lt, &apps);
+        assert!(state.is_bound_little(AppId(0)));
+        assert!(!state.is_bound_big(AppId(0)));
+    }
+
+    #[test]
+    fn completed_apps_are_pruned() {
+        let mut state = AllocationState::new();
+        state.bound_big.push(AppId(0));
+        state
+            .allocations
+            .insert(AppId(0), Allocation { big: 1, little: 0 });
+        // App 0 no longer appears in the info map (completed).
+        let apps = BTreeMap::new();
+        let result = allocate(&mut state, 2, 4, 2, 4, &apps);
+        assert!(result.is_empty());
+        assert!(state.bound_big.is_empty());
+    }
+
+    #[test]
+    fn no_free_slots_is_a_no_op() {
+        let mut state = AllocationState::new();
+        state.add_waiting(AppId(0));
+        let mut apps = BTreeMap::new();
+        apps.insert(AppId(0), info(true, 6, 3, false));
+        let result = allocate(&mut state, 2, 4, 0, 0, &apps);
+        assert!(result.is_empty());
+        assert_eq!(state.waiting, vec![AppId(0)]);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_totals() {
+        // Property-style check over a crowded system.
+        let mut state = AllocationState::new();
+        let mut apps = BTreeMap::new();
+        for i in 0..10 {
+            state.add_waiting(AppId(i));
+            apps.insert(AppId(i), info(i % 2 == 0, 6, 3, false));
+        }
+        let result = allocate(&mut state, 2, 4, 2, 4, &apps);
+        let total_big: u32 = result.values().map(|a| a.big).sum();
+        let total_little: u32 = result.values().map(|a| a.little).sum();
+        assert!(total_big <= 2, "allocated {total_big} big slots out of 2");
+        assert!(total_little <= 4, "allocated {total_little} little slots out of 4");
+    }
+}

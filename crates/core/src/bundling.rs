@@ -1,0 +1,218 @@
+//! 3-in-1 task bundling for Big slots.
+//!
+//! A Big slot hosts three consecutive tasks of one application at once (a *3-in-1
+//! task*), which eliminates further PR contention for that application.  Inside the
+//! Big slot the three tasks can be organised two ways (Figure 3 of the paper):
+//!
+//! * **parallel** — the three tasks form an internal pipeline; a new batch item can
+//!   enter every `Tmax` (the slowest member), and the whole batch takes
+//!   `Tmax · (Nbatch + 2)` including the two-stage fill; or
+//! * **serial** — each item runs the three tasks back to back, taking
+//!   `ΣTi` per item and `ΣTi · Nbatch` for the batch, with no idle sub-task cycles.
+//!
+//! The scheduler picks serial when `Tmax · (Nbatch + 2) > ΣTi · Nbatch`
+//! (the paper's criterion), i.e. when the pipeline's idle cycles outweigh its
+//! overlap benefit — which happens for small batches or very unbalanced members.
+
+use serde::{Deserialize, Serialize};
+use versaslot_sim::SimDuration;
+use versaslot_workload::{ApplicationSpec, BundleSpec};
+
+/// How the three member tasks execute inside the Big slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BundleMode {
+    /// Internal pipeline across the three members (`Tmax` per item after fill).
+    Parallel,
+    /// Members run back to back per item (`ΣTi` per item).
+    Serial,
+}
+
+/// Execution profile of one 3-in-1 bundle, as the scheduler will run it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleExecution {
+    /// The chosen organisation.
+    pub mode: BundleMode,
+    /// Service time of the first batch item (includes the pipeline fill for
+    /// parallel bundles).
+    pub first_item: SimDuration,
+    /// Steady-state service time of every further item.
+    pub per_item: SimDuration,
+}
+
+impl BundleExecution {
+    /// Total time to process `batch` items.
+    pub fn batch_makespan(&self, batch: u32) -> SimDuration {
+        if batch == 0 {
+            return SimDuration::ZERO;
+        }
+        self.first_item + self.per_item * (batch as u64 - 1)
+    }
+}
+
+/// Returns the member task execution times of `bundle` within `app`, including the
+/// per-item data-staging cost `dma_per_item` for each member.
+fn member_times(
+    app: &ApplicationSpec,
+    bundle: &BundleSpec,
+    dma_per_item: SimDuration,
+) -> Vec<SimDuration> {
+    bundle
+        .task_range()
+        .map(|i| app.tasks()[i as usize].exec_per_item() + dma_per_item)
+        .collect()
+}
+
+/// Chooses serial or parallel organisation for a bundle using the paper's
+/// criterion: serial when `Tmax · (Nbatch + 2) > ΣTi · Nbatch`.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_core::bundling::{choose_mode, BundleMode};
+/// use versaslot_sim::SimDuration;
+///
+/// // Balanced members and a large batch favour the parallel pipeline.
+/// let balanced = [
+///     SimDuration::from_millis(30),
+///     SimDuration::from_millis(30),
+///     SimDuration::from_millis(30),
+/// ];
+/// assert_eq!(choose_mode(&balanced, 20), BundleMode::Parallel);
+///
+/// // A dominant member with a small batch favours the serial form.
+/// let skewed = [
+///     SimDuration::from_millis(90),
+///     SimDuration::from_millis(5),
+///     SimDuration::from_millis(5),
+/// ];
+/// assert_eq!(choose_mode(&skewed, 2), BundleMode::Serial);
+/// ```
+pub fn choose_mode(member_times: &[SimDuration], batch: u32) -> BundleMode {
+    let t_max = member_times
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max_of);
+    let t_sum: SimDuration = member_times.iter().copied().sum();
+    let parallel_total = t_max.as_micros() as u128 * (batch as u128 + 2);
+    let serial_total = t_sum.as_micros() as u128 * batch as u128;
+    if parallel_total > serial_total {
+        BundleMode::Serial
+    } else {
+        BundleMode::Parallel
+    }
+}
+
+/// Builds the execution profile of `bundle` for a batch of `batch` items,
+/// selecting the organisation with [`choose_mode`].
+pub fn plan_bundle(
+    app: &ApplicationSpec,
+    bundle: &BundleSpec,
+    batch: u32,
+    dma_per_item: SimDuration,
+) -> BundleExecution {
+    let times = member_times(app, bundle, dma_per_item);
+    let t_max = times
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max_of);
+    let t_sum: SimDuration = times.iter().copied().sum();
+    match choose_mode(&times, batch) {
+        BundleMode::Parallel => BundleExecution {
+            mode: BundleMode::Parallel,
+            // The first item traverses all three stages; afterwards one item drains
+            // per Tmax, giving Tmax·(Nbatch+2) in total.
+            first_item: t_max * 3,
+            per_item: t_max,
+        },
+        BundleMode::Serial => BundleExecution {
+            mode: BundleMode::Serial,
+            first_item: t_sum,
+            per_item: t_sum,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use versaslot_workload::benchmarks::BenchmarkApp;
+
+    #[test]
+    fn parallel_makespan_matches_criterion_formula() {
+        let app = BenchmarkApp::ImageCompression.spec();
+        let bundle = &app.bundles()[0];
+        let batch = 20;
+        let exec = plan_bundle(&app, bundle, batch, SimDuration::ZERO);
+        if exec.mode == BundleMode::Parallel {
+            let t_max = bundle
+                .task_range()
+                .map(|i| app.tasks()[i as usize].exec_per_item())
+                .fold(SimDuration::ZERO, SimDuration::max_of);
+            assert_eq!(exec.batch_makespan(batch), t_max * (batch as u64 + 2));
+        } else {
+            panic!("IC bundle with batch 20 should pipeline in parallel");
+        }
+    }
+
+    #[test]
+    fn serial_makespan_matches_criterion_formula() {
+        let app = BenchmarkApp::ImageCompression.spec();
+        let bundle = &app.bundles()[0];
+        // Force the serial side of the criterion with a tiny batch and a skewed
+        // member by using batch = 1.
+        let exec = plan_bundle(&app, bundle, 1, SimDuration::ZERO);
+        let t_sum: SimDuration = bundle
+            .task_range()
+            .map(|i| app.tasks()[i as usize].exec_per_item())
+            .sum();
+        assert_eq!(exec.mode, BundleMode::Serial);
+        assert_eq!(exec.batch_makespan(1), t_sum);
+    }
+
+    #[test]
+    fn zero_batch_has_zero_makespan() {
+        let exec = BundleExecution {
+            mode: BundleMode::Serial,
+            first_item: SimDuration::from_millis(10),
+            per_item: SimDuration::from_millis(10),
+        };
+        assert_eq!(exec.batch_makespan(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dma_cost_is_added_per_member() {
+        let app = BenchmarkApp::AlexNet.spec();
+        let bundle = &app.bundles()[0];
+        let without = plan_bundle(&app, bundle, 20, SimDuration::ZERO);
+        let with = plan_bundle(&app, bundle, 20, SimDuration::from_millis(2));
+        assert!(with.per_item > without.per_item);
+    }
+
+    proptest! {
+        /// The chosen mode never yields a longer batch makespan than the rejected one.
+        #[test]
+        fn prop_chosen_mode_is_no_worse(
+            t1 in 1u64..200, t2 in 1u64..200, t3 in 1u64..200, batch in 1u32..40,
+        ) {
+            let times = [
+                SimDuration::from_millis(t1),
+                SimDuration::from_millis(t2),
+                SimDuration::from_millis(t3),
+            ];
+            let t_max = times.iter().copied().fold(SimDuration::ZERO, SimDuration::max_of);
+            let t_sum: SimDuration = times.iter().copied().sum();
+            let parallel = t_max * (batch as u64 + 2);
+            let serial = t_sum * batch as u64;
+            let chosen = match choose_mode(&times, batch) {
+                BundleMode::Parallel => parallel,
+                BundleMode::Serial => serial,
+            };
+            prop_assert!(chosen <= parallel.max_of(serial));
+            prop_assert!(chosen <= parallel || chosen <= serial);
+            // And it equals the smaller of the two except for exact ties.
+            let best = if parallel <= serial { parallel } else { serial };
+            prop_assert_eq!(chosen, best);
+        }
+    }
+}

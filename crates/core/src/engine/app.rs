@@ -1,0 +1,296 @@
+//! Runtime state of applications and their execution units.
+
+use serde::{Deserialize, Serialize};
+use versaslot_sim::{SimDuration, SimTime};
+use versaslot_workload::{AppArrival, AppId, ApplicationSpec};
+
+use super::slot::ExecUnit;
+use crate::bundling::{plan_bundle, BundleMode};
+
+/// Whether the application runs as individual tasks in Little slots or as 3-in-1
+/// bundles in a Big slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One execution unit per task, running in Little slots.
+    Little,
+    /// One execution unit per 3-in-1 bundle, running in Big slots.
+    Big,
+}
+
+/// Lifecycle state of an application in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppState {
+    /// Arrived, waiting for its first slot.
+    Waiting,
+    /// Has at least one slot granted (or had, and still has work left).
+    Running,
+    /// All units have finished their batch.
+    Completed,
+}
+
+/// Runtime state of one execution unit (a task or a bundle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitRuntime {
+    /// What this unit is (task index or bundle index).
+    pub unit: ExecUnit,
+    /// Service time of the first batch item (includes pipeline fill for parallel
+    /// bundles).
+    pub first_item: SimDuration,
+    /// Steady-state service time per item.
+    pub per_item: SimDuration,
+    /// Completed batch items.
+    pub items_done: u32,
+    /// Batch items completed since the unit was last loaded into a slot (used by
+    /// quantum-based preemption).
+    pub items_since_load: u32,
+    /// Slot currently hosting (or reconfiguring for) this unit, as an index into
+    /// the simulator's slot list.
+    pub slot: Option<usize>,
+    /// Whether this unit has already been counted in `N_blocked_tasks`.
+    pub blocked_counted: bool,
+}
+
+impl UnitRuntime {
+    /// Service time of the next item to run.
+    pub fn next_item_duration(&self) -> SimDuration {
+        if self.items_done == 0 {
+            self.first_item
+        } else {
+            self.per_item
+        }
+    }
+}
+
+/// Runtime state of one application instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRuntime {
+    /// Identifier within the workload sequence.
+    pub id: AppId,
+    /// Index into the benchmark suite.
+    pub app_index: usize,
+    /// Batch size of this request.
+    pub batch: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Lifecycle state.
+    pub state: AppState,
+    /// Current execution mode.
+    pub mode: ExecMode,
+    /// Execution units in pipeline order (tasks for Little mode, bundles for Big).
+    pub units: Vec<UnitRuntime>,
+    /// Whether any PR has been issued for this application (after which its mode
+    /// can no longer change — the paper's binding rule).
+    pub started: bool,
+    /// Board the application first started executing on (grants on this board stay
+    /// allowed after a cross-board switch so in-flight pipelines can drain).
+    pub home_board: Option<usize>,
+    /// Partial reconfigurations issued for this application.
+    pub pr_count: u32,
+    /// Whether the application ever occupied a Big slot.
+    pub used_big: bool,
+    /// Completion time, once finished.
+    pub completion: Option<SimTime>,
+}
+
+impl AppRuntime {
+    /// Creates the runtime for an arrival, starting in Little mode.
+    pub fn new(arrival: &AppArrival, spec: &ApplicationSpec, dma_per_item: SimDuration) -> Self {
+        let mut app = AppRuntime {
+            id: arrival.id,
+            app_index: arrival.app_index,
+            batch: arrival.batch_size,
+            arrival: arrival.arrival,
+            state: AppState::Waiting,
+            mode: ExecMode::Little,
+            units: Vec::new(),
+            started: false,
+            home_board: None,
+            pr_count: 0,
+            used_big: false,
+            completion: None,
+        };
+        app.rebuild_units(spec, ExecMode::Little, dma_per_item);
+        app
+    }
+
+    /// Rebuilds the unit list for `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the application has started executing, or if `Big`
+    /// mode is requested for an application without bundles.
+    pub fn rebuild_units(
+        &mut self,
+        spec: &ApplicationSpec,
+        mode: ExecMode,
+        dma_per_item: SimDuration,
+    ) {
+        assert!(
+            !self.started,
+            "cannot change the execution mode of an application that already started"
+        );
+        self.units = match mode {
+            ExecMode::Little => spec
+                .tasks()
+                .iter()
+                .enumerate()
+                .map(|(i, task)| UnitRuntime {
+                    unit: ExecUnit::Task(i as u32),
+                    first_item: task.exec_per_item() + dma_per_item,
+                    per_item: task.exec_per_item() + dma_per_item,
+                    items_done: 0,
+                    items_since_load: 0,
+                    slot: None,
+                    blocked_counted: false,
+                })
+                .collect(),
+            ExecMode::Big => {
+                assert!(
+                    spec.can_bundle(),
+                    "application `{}` has no 3-in-1 bundles",
+                    spec.name()
+                );
+                spec.bundles()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, bundle)| {
+                        let exec = plan_bundle(spec, bundle, self.batch, dma_per_item);
+                        UnitRuntime {
+                            unit: ExecUnit::Bundle(i as u32),
+                            first_item: exec.first_item,
+                            per_item: exec.per_item,
+                            items_done: 0,
+                            items_since_load: 0,
+                            slot: None,
+                            blocked_counted: false,
+                        }
+                    })
+                    .collect()
+            }
+        };
+        self.mode = mode;
+    }
+
+    /// Whether every unit has finished its batch.
+    pub fn is_finished(&self) -> bool {
+        self.units.iter().all(|u| u.items_done >= self.batch)
+    }
+
+    /// Number of units that still have items to process.
+    pub fn unfinished_units(&self) -> u32 {
+        self.units
+            .iter()
+            .filter(|u| u.items_done < self.batch)
+            .count() as u32
+    }
+
+    /// Number of unfinished units that are not placed in (or loading into) a slot.
+    pub fn unplaced_units(&self) -> u32 {
+        self.units
+            .iter()
+            .filter(|u| u.items_done < self.batch && u.slot.is_none())
+            .count() as u32
+    }
+
+    /// Index of the next unfinished, unplaced unit in pipeline order, if any.
+    pub fn next_unit_to_place(&self) -> Option<usize> {
+        self.units
+            .iter()
+            .position(|u| u.items_done < self.batch && u.slot.is_none())
+    }
+
+    /// Estimated remaining work (used by priority schedulers).
+    pub fn remaining_work(&self) -> SimDuration {
+        self.units
+            .iter()
+            .map(|u| u.per_item * (self.batch.saturating_sub(u.items_done)) as u64)
+            .sum()
+    }
+
+    /// The number of tasks this application contributes to `N_PR` in Eq. 1 (task
+    /// granularity, regardless of execution mode).
+    pub fn pr_task_count(&self, spec: &ApplicationSpec) -> u64 {
+        spec.task_count() as u64
+    }
+
+    /// The bundle mode selected for bundle `index`, if this application runs in
+    /// Big mode (used by reports and tests).
+    pub fn bundle_mode(&self, spec: &ApplicationSpec, index: usize) -> Option<BundleMode> {
+        if self.mode != ExecMode::Big {
+            return None;
+        }
+        spec.bundles()
+            .get(index)
+            .map(|b| plan_bundle(spec, b, self.batch, SimDuration::ZERO).mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use versaslot_sim::SimTime;
+    use versaslot_workload::benchmarks::BenchmarkApp;
+
+    fn arrival(batch: u32) -> AppArrival {
+        AppArrival::new(AppId(0), BenchmarkApp::LeNet.suite_index(), batch, SimTime::ZERO)
+    }
+
+    #[test]
+    fn little_mode_has_one_unit_per_task() {
+        let spec = BenchmarkApp::LeNet.spec();
+        let app = AppRuntime::new(&arrival(10), &spec, SimDuration::ZERO);
+        assert_eq!(app.units.len(), spec.task_count() as usize);
+        assert_eq!(app.mode, ExecMode::Little);
+        assert_eq!(app.unfinished_units(), 6);
+        assert_eq!(app.unplaced_units(), 6);
+        assert_eq!(app.next_unit_to_place(), Some(0));
+        assert!(!app.is_finished());
+    }
+
+    #[test]
+    fn big_mode_has_one_unit_per_bundle() {
+        let spec = BenchmarkApp::OpticalFlow.spec();
+        let mut app = AppRuntime::new(
+            &AppArrival::new(AppId(1), BenchmarkApp::OpticalFlow.suite_index(), 20, SimTime::ZERO),
+            &spec,
+            SimDuration::ZERO,
+        );
+        app.rebuild_units(&spec, ExecMode::Big, SimDuration::ZERO);
+        assert_eq!(app.units.len(), spec.bundles().len());
+        assert_eq!(app.mode, ExecMode::Big);
+        assert!(app.bundle_mode(&spec, 0).is_some());
+    }
+
+    #[test]
+    fn parallel_bundle_first_item_includes_fill() {
+        let spec = BenchmarkApp::ImageCompression.spec();
+        let mut app = AppRuntime::new(
+            &AppArrival::new(AppId(1), BenchmarkApp::ImageCompression.suite_index(), 25, SimTime::ZERO),
+            &spec,
+            SimDuration::ZERO,
+        );
+        app.rebuild_units(&spec, ExecMode::Big, SimDuration::ZERO);
+        let unit = &app.units[0];
+        assert!(unit.first_item > unit.per_item);
+        assert_eq!(unit.next_item_duration(), unit.first_item);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the execution mode")]
+    fn mode_change_after_start_panics() {
+        let spec = BenchmarkApp::LeNet.spec();
+        let mut app = AppRuntime::new(&arrival(10), &spec, SimDuration::ZERO);
+        app.started = true;
+        app.rebuild_units(&spec, ExecMode::Big, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn remaining_work_shrinks_with_progress() {
+        let spec = BenchmarkApp::LeNet.spec();
+        let mut app = AppRuntime::new(&arrival(10), &spec, SimDuration::ZERO);
+        let before = app.remaining_work();
+        app.units[0].items_done = 5;
+        assert!(app.remaining_work() < before);
+        assert_eq!(app.pr_task_count(&spec), 6);
+    }
+}

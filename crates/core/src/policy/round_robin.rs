@@ -1,0 +1,143 @@
+//! Round-robin spatio-temporal sharing.
+//!
+//! The round-robin comparator (after the OS-style FPGA scheduling of Coyote) hands
+//! free Little slots to applications one at a time in a rotating order, so every
+//! active application makes progress, at the price of many more partial
+//! reconfigurations and — with the single-core hypervisor — more task-launch
+//! blocking.
+
+use versaslot_fpga::slot::SlotKind;
+use versaslot_workload::AppId;
+
+use super::{unplaced_demand, Policy};
+use crate::engine::SharingSimulator;
+
+/// Round-robin slot allocation (single-core comparator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobinPolicy { cursor: 0 }
+    }
+}
+
+impl Policy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn schedule(&mut self, sim: &mut SharingSimulator) {
+        let mut apps: Vec<AppId> = sim.active_app_ids();
+        apps.sort();
+        if apps.is_empty() {
+            return;
+        }
+
+        // Round-robin time-slices the fabric: once a resident task has used up its
+        // quantum and another application is starving, its slot rotates onwards.
+        super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
+
+        // Keep handing out one slot per needy application, starting after the last
+        // application served, until either slots or demand run out.
+        loop {
+            let needy: Vec<AppId> = apps
+                .iter()
+                .copied()
+                .filter(|a| unplaced_demand(sim, *a) > 0)
+                .collect();
+            if needy.is_empty() {
+                break;
+            }
+            let mut granted_any = false;
+            for offset in 0..needy.len() {
+                let app = needy[(self.cursor + offset) % needy.len()];
+                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Little));
+                let Some(&slot) = candidates.first() else {
+                    continue;
+                };
+                if sim.grant_slot(slot, app) {
+                    self.cursor = (self.cursor + offset + 1) % needy.len().max(1);
+                    granted_any = true;
+                    break;
+                }
+            }
+            if !granted_any {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::engine::SharingSimulator;
+    use crate::policy::fcfs::FcfsPolicy;
+    use versaslot_fpga::board::BoardSpec;
+    use versaslot_fpga::cpu::CoreAssignment;
+    use versaslot_sim::{SimDuration, SimTime};
+    use versaslot_workload::benchmarks::BenchmarkApp;
+    use versaslot_workload::AppArrival;
+
+    fn board() -> BoardSpec {
+        BoardSpec::zcu216_only_little().with_cores(CoreAssignment::SingleCore)
+    }
+
+    fn arrivals(n: u32) -> Vec<AppArrival> {
+        (0..n)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    BenchmarkApp::ImageCompression.suite_index(),
+                    8,
+                    SimTime::ZERO + SimDuration::from_millis(u64::from(i) * 100),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_apps_complete() {
+        let mut sim = SharingSimulator::new(
+            SystemConfig::single_board(board()),
+            BenchmarkApp::suite(),
+            &arrivals(4),
+        );
+        let report = sim.run(&mut RoundRobinPolicy::new());
+        assert_eq!(report.completed(), 4);
+    }
+
+    #[test]
+    fn fairness_spreads_slots_compared_to_fcfs() {
+        // Under round-robin, the *last* arrival should wait less (relative to FCFS)
+        // because it receives slots before earlier apps finish.
+        let work = arrivals(4);
+
+        let mut rr_sim = SharingSimulator::new(
+            SystemConfig::single_board(board()),
+            BenchmarkApp::suite(),
+            &work,
+        );
+        let rr = rr_sim.run(&mut RoundRobinPolicy::new());
+
+        let mut fcfs_sim = SharingSimulator::new(
+            SystemConfig::single_board(board()),
+            BenchmarkApp::suite(),
+            &work,
+        );
+        let fcfs = fcfs_sim.run(&mut FcfsPolicy::new());
+
+        let rr_first_completion = rr.apps.iter().map(|a| a.completion).min().unwrap();
+        let fcfs_last = fcfs.apps.iter().map(|a| a.completion).max().unwrap();
+        // Round-robin interleaves, so its earliest completion cannot be later than
+        // the FCFS makespan (a very weak but robust fairness property).
+        assert!(rr_first_completion <= fcfs_last);
+        // And round-robin performs at least as many PRs as FCFS (it interleaves).
+        assert!(rr.total_pr >= fcfs.total_pr);
+    }
+}

@@ -1,0 +1,349 @@
+//! The VersaSlot scheduling policy (Algorithms 1 and 2 of the paper).
+//!
+//! Every scheduling pass the policy
+//!
+//! 1. runs **Algorithm 1** (slot allocation — see [`crate::allocation`]) over the
+//!    current candidate applications: bundle-capable waiting applications bind to
+//!    Big slots, the rest receive their ILP-optimal number of Little slots, idle
+//!    Little slots are redistributed, and not-yet-started Little-bound applications
+//!    are rebound to Big slots when one frees up; then
+//! 2. performs the granting part of **Algorithm 2** (on-board scheduling): each
+//!    bound application receives free slots of its kind up to its allocation
+//!    `R_Ai`, which makes the engine load the next task — or the next online-
+//!    bundled 3-in-1 task, chosen serial or parallel by the criterion in
+//!    [`crate::bundling`] — and issue the asynchronous PR request.
+//!
+//! The batch-execution launching and the decoupled dual-core PR server of
+//! Algorithm 2 are mechanics of the engine itself: launches never wait for PR
+//! completions because the boards this policy is intended for run the dual-core
+//! hypervisor ([`versaslot_fpga::cpu::CoreAssignment::DualCore`]).
+//!
+//! On an `Only.Little` board there are simply no Big slots, so the same policy
+//! degenerates to the VersaSlot Only.Little configuration of the paper.
+
+use std::collections::BTreeMap;
+
+use versaslot_fpga::slot::SlotKind;
+use versaslot_workload::AppId;
+
+use super::Policy;
+use crate::allocation::{allocate, AllocationState, AppAllocInfo};
+use crate::engine::{AppState, SharingSimulator};
+use crate::ilp::{optimal_big_slots, optimal_little_slots};
+
+/// The VersaSlot slot-allocation and scheduling policy.
+#[derive(Debug, Clone, Default)]
+pub struct VersaSlotPolicy {
+    state: AllocationState,
+    optimal_cache: BTreeMap<AppId, (u32, u32)>,
+}
+
+impl VersaSlotPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        VersaSlotPolicy {
+            state: AllocationState::new(),
+            optimal_cache: BTreeMap::new(),
+        }
+    }
+
+    /// Exposes the allocator state (used by tests).
+    pub fn allocation_state(&self) -> &AllocationState {
+        &self.state
+    }
+
+    fn optimal(&mut self, sim: &SharingSimulator, app: AppId) -> (u32, u32) {
+        if let Some(cached) = self.optimal_cache.get(&app) {
+            return *cached;
+        }
+        let spec = sim.spec_of(app);
+        let value = (
+            optimal_big_slots(spec),
+            optimal_little_slots(spec, sim.app(app).batch),
+        );
+        self.optimal_cache.insert(app, value);
+        value
+    }
+
+    /// Ageing priority of a waiting application (time waited relative to remaining
+    /// work).  VersaSlot inherits the runnable-queue ordering and preemption
+    /// mechanism of Nimblock for its candidate list, so the waiting list `C_wait`
+    /// is processed in this priority order.
+    fn priority(sim: &SharingSimulator, app: AppId) -> f64 {
+        let runtime = sim.app(app);
+        let waited = sim.now().saturating_since(runtime.arrival).as_millis_f64();
+        let remaining = runtime.remaining_work().as_millis_f64().max(1.0);
+        (waited + 1.0) / remaining
+    }
+
+}
+
+impl Policy for VersaSlotPolicy {
+    fn name(&self) -> &'static str {
+        "versaslot"
+    }
+
+    fn schedule(&mut self, sim: &mut SharingSimulator) {
+        let active = sim.active_app_ids();
+
+        // Preemption applies to Little slots only (an application cannot occupy
+        // both Big and Little slots, and Big-bound applications finish all their
+        // tasks in the Big slot); the shared helper only ever preempts Little
+        // slots, and the work-conserving pass below hands the freed slot to the
+        // starving application.
+        super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
+
+        // Register new arrivals with the allocator.
+        for &app in &active {
+            if sim.app(app).state == AppState::Waiting
+                && !self.state.is_bound_big(app)
+                && !self.state.is_bound_little(app)
+            {
+                self.state.add_waiting(app);
+            }
+        }
+
+        // Process the waiting list in runnable-queue priority order (ageing).
+        self.state.waiting.sort_by(|a, b| {
+            Self::priority(sim, *b)
+                .partial_cmp(&Self::priority(sim, *a))
+                .expect("priorities are finite")
+                .then(a.cmp(b))
+        });
+
+        // Build the Algorithm 1 inputs.
+        let mut info = BTreeMap::new();
+        for &app in &active {
+            let (optimal_big, optimal_little) = self.optimal(sim, app);
+            let runtime = sim.app(app);
+            info.insert(
+                app,
+                AppAllocInfo {
+                    can_bundle: sim.can_bundle(app),
+                    unfinished_tasks: runtime.unfinished_units(),
+                    optimal_little,
+                    optimal_big,
+                    started: runtime.started,
+                },
+            );
+        }
+
+        let allocations = allocate(
+            &mut self.state,
+            sim.enabled_slot_total(SlotKind::Big),
+            sim.enabled_slot_total(SlotKind::Little),
+            sim.free_slot_count(SlotKind::Big),
+            sim.free_slot_count(SlotKind::Little),
+            &info,
+        );
+
+        // Granting pass of Algorithm 2: top every bound application up to its
+        // allocation R_Ai.  Applications bound to Big slots complete all their
+        // 3-in-1 tasks there; Little-bound applications may also keep draining on
+        // their home board after a cross-board switch.
+        let bound_big = self.state.bound_big.clone();
+        for app in bound_big {
+            let target = allocations.get(&app).map(|a| a.big).unwrap_or(0);
+            loop {
+                let (used_big, _) = sim.slots_in_use_by(app);
+                if used_big >= target {
+                    break;
+                }
+                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Big));
+                let Some(&slot) = candidates.first() else {
+                    break;
+                };
+                if !sim.grant_slot(slot, app) {
+                    break;
+                }
+            }
+        }
+
+        let bound_little = self.state.bound_little.clone();
+        for app in bound_little {
+            let target = allocations.get(&app).map(|a| a.little).unwrap_or(0);
+            loop {
+                let (_, used_little) = sim.slots_in_use_by(app);
+                if used_little >= target {
+                    break;
+                }
+                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Little));
+                let Some(&slot) = candidates.first() else {
+                    break;
+                };
+                if !sim.grant_slot(slot, app) {
+                    break;
+                }
+            }
+        }
+
+        // Work-conserving redistribution: whatever Little slots remain free after
+        // the allocation-driven grants go to candidate applications (front of the
+        // runnable queue first) rather than idling — the paper's redistribution
+        // goal of "effectively avoiding slot idling".
+        let mut candidates: Vec<AppId> = active
+            .iter()
+            .copied()
+            .filter(|app| !self.state.is_bound_big(*app))
+            .filter(|app| sim.app(*app).unplaced_units() > 0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            Self::priority(sim, *b)
+                .partial_cmp(&Self::priority(sim, *a))
+                .expect("priorities are finite")
+                .then(a.cmp(b))
+        });
+        for app in candidates {
+            // Bundle-capable applications that are still waiting are left for the
+            // Big-slot binding of the next pass when a Big slot is available.
+            let still_waiting = self.state.waiting.contains(&app);
+            if still_waiting && sim.can_bundle(app) && sim.free_slot_count(SlotKind::Big) > 0 {
+                continue;
+            }
+            let want = sim.app(app).unplaced_units();
+            let granted = super::grant_little_slots(sim, app, want);
+            if granted > 0 && still_waiting {
+                // The application is now executing in Little slots: record the
+                // binding so rebinding and future allocation passes see it.
+                self.state.waiting.retain(|a| *a != app);
+                self.state.bound_little.push(app);
+                self.state.allocations.insert(
+                    app,
+                    crate::allocation::Allocation {
+                        big: 0,
+                        little: granted,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::engine::SharingSimulator;
+    use crate::policy::nimblock::NimblockPolicy;
+    use versaslot_fpga::board::BoardSpec;
+    use versaslot_fpga::cpu::CoreAssignment;
+    use versaslot_sim::{SimDuration, SimTime};
+    use versaslot_workload::benchmarks::BenchmarkApp;
+    use versaslot_workload::AppArrival;
+
+    fn crowded_arrivals(n: u32, spacing_ms: u64) -> Vec<AppArrival> {
+        let kinds = [
+            BenchmarkApp::ImageCompression,
+            BenchmarkApp::AlexNet,
+            BenchmarkApp::OpticalFlow,
+            BenchmarkApp::LeNet,
+            BenchmarkApp::Rendering3D,
+        ];
+        (0..n)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    kinds[i as usize % kinds.len()].suite_index(),
+                    10 + (i % 15),
+                    SimTime::ZERO + SimDuration::from_millis(u64::from(i) * spacing_ms),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn big_little_binds_bundleable_apps_to_big_slots() {
+        let mut sim = SharingSimulator::new(
+            SystemConfig::single_board(BoardSpec::zcu216_big_little()),
+            BenchmarkApp::suite(),
+            &crowded_arrivals(4, 100),
+        );
+        let report = sim.run(&mut VersaSlotPolicy::new());
+        assert_eq!(report.completed(), 4);
+        assert!(
+            report.apps.iter().any(|a| a.used_big_slot),
+            "at least one application should have used a Big slot"
+        );
+    }
+
+    #[test]
+    fn big_little_reduces_pr_count_versus_only_little() {
+        let work = crowded_arrivals(6, 150);
+        let suite = BenchmarkApp::suite();
+
+        let mut bl_sim = SharingSimulator::new(
+            SystemConfig::single_board(BoardSpec::zcu216_big_little()),
+            suite.clone(),
+            &work,
+        );
+        let bl = bl_sim.run(&mut VersaSlotPolicy::new());
+
+        let mut ol_sim = SharingSimulator::new(
+            SystemConfig::single_board(BoardSpec::zcu216_only_little()),
+            suite,
+            &work,
+        );
+        let ol = ol_sim.run(&mut VersaSlotPolicy::new());
+
+        assert!(
+            bl.total_pr < ol.total_pr,
+            "bundling should reduce PR operations ({} vs {})",
+            bl.total_pr,
+            ol.total_pr
+        );
+    }
+
+    #[test]
+    fn dual_core_beats_single_core_nimblock_under_load() {
+        // VersaSlot Only.Little vs Nimblock: same uniform slots, the difference is
+        // the dual-core decoupling (plus allocation details).  Under a loaded
+        // arrival pattern VersaSlot should not be slower.
+        let work = crowded_arrivals(10, 180);
+        let suite = BenchmarkApp::suite();
+
+        let mut vs_sim = SharingSimulator::new(
+            SystemConfig::single_board(BoardSpec::zcu216_only_little()),
+            suite.clone(),
+            &work,
+        );
+        let vs = vs_sim.run(&mut VersaSlotPolicy::new());
+
+        let mut nb_sim = SharingSimulator::new(
+            SystemConfig::single_board(
+                BoardSpec::zcu216_only_little().with_cores(CoreAssignment::SingleCore),
+            ),
+            suite,
+            &work,
+        );
+        let nb = nb_sim.run(&mut NimblockPolicy::new());
+
+        // The paper reports VersaSlot Only.Little ahead of Nimblock by up to 1.35x;
+        // in this reproduction the two are close on small workloads (the dual-core
+        // benefit is limited by how often PRs occur), so the invariant checked here
+        // is "not meaningfully worse", with the blocking counters showing where the
+        // dual-core decoupling helps.
+        assert!(
+            vs.mean_response_ms() <= nb.mean_response_ms() * 1.10,
+            "versaslot only-little ({:.1} ms) should stay within 10% of nimblock ({:.1} ms)",
+            vs.mean_response_ms(),
+            nb.mean_response_ms()
+        );
+        assert!(vs.blocked_events <= nb.blocked_events);
+    }
+
+    #[test]
+    fn allocation_state_is_cleaned_up() {
+        let mut sim = SharingSimulator::new(
+            SystemConfig::single_board(BoardSpec::zcu216_big_little()),
+            BenchmarkApp::suite(),
+            &crowded_arrivals(3, 200),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        sim.run(&mut policy);
+        // After everything completed, one final schedule pass prunes all bindings.
+        policy.schedule(&mut sim);
+        assert!(policy.allocation_state().bound_big.is_empty());
+        assert!(policy.allocation_state().bound_little.is_empty());
+        assert!(policy.allocation_state().waiting.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Cluster of FPGA boards.
+//!
+//! The paper's evaluation cluster consists of two ZCU216 boards connected by an
+//! Aurora link, one flashed `Big.Little` and one `Only.Little`, so that cross-board
+//! switching can move the live workload between the two slot configurations without
+//! rebooting either board.  [`ClusterSpec`] is the static description of such a
+//! cluster.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aurora::AuroraLink;
+use crate::board::{BoardId, BoardSpec};
+use crate::slot::LayoutKind;
+
+/// Static description of an FPGA cluster.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_fpga::ClusterSpec;
+/// use versaslot_fpga::slot::LayoutKind;
+///
+/// let cluster = ClusterSpec::paper_two_board();
+/// assert_eq!(cluster.boards().len(), 2);
+/// assert!(cluster.board_with_layout(LayoutKind::BigLittle).is_some());
+/// assert!(cluster.board_with_layout(LayoutKind::OnlyLittle).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    boards: Vec<BoardSpec>,
+    interconnect: AuroraLink,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster from a list of boards connected by `interconnect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boards` is empty.
+    pub fn new(boards: Vec<BoardSpec>, interconnect: AuroraLink) -> Self {
+        assert!(!boards.is_empty(), "a cluster needs at least one board");
+        ClusterSpec {
+            boards,
+            interconnect,
+        }
+    }
+
+    /// The two-board cluster used in the paper: one `Only.Little` ZCU216 and one
+    /// `Big.Little` ZCU216 connected by a zSFP+ Aurora link.
+    pub fn paper_two_board() -> Self {
+        ClusterSpec::new(
+            vec![
+                BoardSpec::zcu216_only_little(),
+                BoardSpec::zcu216_big_little(),
+            ],
+            AuroraLink::zsfp_plus(),
+        )
+    }
+
+    /// A single-board "cluster", useful for the non-switching experiments.
+    pub fn single(board: BoardSpec) -> Self {
+        ClusterSpec::new(vec![board], AuroraLink::zsfp_plus())
+    }
+
+    /// All boards in the cluster; a board's index is its [`BoardId`].
+    pub fn boards(&self) -> &[BoardSpec] {
+        &self.boards
+    }
+
+    /// Returns the board with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is out of range.
+    pub fn board(&self, id: BoardId) -> &BoardSpec {
+        &self.boards[id.0 as usize]
+    }
+
+    /// Returns the id of the first board flashed with `layout`, if any.
+    pub fn board_with_layout(&self, layout: LayoutKind) -> Option<BoardId> {
+        self.boards
+            .iter()
+            .position(|b| b.layout.kind() == layout)
+            .map(|i| BoardId(i as u32))
+    }
+
+    /// The cross-board link model.
+    pub fn interconnect(&self) -> AuroraLink {
+        self.interconnect
+    }
+
+    /// Number of boards.
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Always `false` for a constructed cluster (they contain at least one board).
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_has_one_board_of_each_layout() {
+        let cluster = ClusterSpec::paper_two_board();
+        assert_eq!(cluster.len(), 2);
+        assert!(!cluster.is_empty());
+        let ol = cluster.board_with_layout(LayoutKind::OnlyLittle).unwrap();
+        let bl = cluster.board_with_layout(LayoutKind::BigLittle).unwrap();
+        assert_ne!(ol, bl);
+        assert_eq!(cluster.board(ol).layout.kind(), LayoutKind::OnlyLittle);
+        assert_eq!(cluster.board(bl).layout.kind(), LayoutKind::BigLittle);
+        assert!(cluster.board_with_layout(LayoutKind::Custom).is_none());
+    }
+
+    #[test]
+    fn single_board_cluster() {
+        let cluster = ClusterSpec::single(BoardSpec::zcu216_big_little());
+        assert_eq!(cluster.len(), 1);
+        assert_eq!(cluster.board(BoardId(0)).layout.kind(), LayoutKind::BigLittle);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn empty_cluster_panics() {
+        ClusterSpec::new(vec![], AuroraLink::zsfp_plus());
+    }
+}

@@ -1,0 +1,250 @@
+//! Time-ordered event queue.
+//!
+//! The simulation advances by repeatedly popping the earliest pending event.  The
+//! queue guarantees a *deterministic* order: events scheduled for the same instant
+//! are delivered in the order they were pushed (FIFO), so a given seed always
+//! produces the same trace — a property the experiment harnesses rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of simulation events.
+///
+/// Ties on the timestamp are broken by insertion order, which makes the simulation
+/// fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::{EventQueue, SimTime};
+///
+/// let mut queue = EventQueue::new();
+/// queue.push(SimTime::from_millis(2), "second");
+/// queue.push(SimTime::from_millis(1), "first");
+/// queue.push(SimTime::from_millis(2), "third");
+///
+/// let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["first", "second", "third"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest time (and, within a
+        // time, the lowest sequence number) surfaces first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest pending event together with its timestamp.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|entry| (entry.time, entry.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns the total number of events ever scheduled on this queue.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (time, event) in iter {
+            self.push(time, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut queue = EventQueue::new();
+        queue.extend(iter);
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::from_micros(30), 3);
+        queue.push(SimTime::from_micros(10), 1);
+        queue.push(SimTime::from_micros(20), 2);
+
+        assert_eq!(queue.pop(), Some((SimTime::from_micros(10), 1)));
+        assert_eq!(queue.pop(), Some((SimTime::from_micros(20), 2)));
+        assert_eq!(queue.pop(), Some((SimTime::from_micros(30), 3)));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut queue = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            queue.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(queue.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::from_micros(7), "x");
+        assert_eq!(queue.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn counts_total_scheduled() {
+        let mut queue = EventQueue::new();
+        for i in 0..10u64 {
+            queue.push(SimTime::from_micros(i), i);
+        }
+        queue.pop();
+        queue.clear();
+        assert_eq!(queue.total_scheduled(), 10);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let queue: EventQueue<u32> = [(SimTime::from_micros(2), 2u32), (SimTime::from_micros(1), 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.peek_time(), Some(SimTime::from_micros(1)));
+    }
+
+    proptest! {
+        /// Popping the full queue always yields non-decreasing timestamps and, within
+        /// equal timestamps, preserves insertion order.
+        #[test]
+        fn prop_pop_order_is_deterministic(times in prop::collection::vec(0u64..1_000, 0..200)) {
+            let mut queue = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                queue.push(SimTime::from_micros(*t), i);
+            }
+
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((time, idx)) = queue.pop() {
+                if let Some((last_time, last_idx)) = last {
+                    prop_assert!(time >= last_time);
+                    if time == last_time {
+                        prop_assert!(idx > last_idx);
+                    }
+                }
+                last = Some((time, idx));
+            }
+        }
+
+        /// len() always equals pushes minus pops.
+        #[test]
+        fn prop_len_tracks_pushes_and_pops(ops in prop::collection::vec(prop::bool::ANY, 0..300)) {
+            let mut queue = EventQueue::new();
+            let mut expected = 0usize;
+            for (i, push) in ops.iter().enumerate() {
+                if *push {
+                    queue.push(SimTime::from_micros(i as u64 % 17), i);
+                    expected += 1;
+                } else if queue.pop().is_some() {
+                    expected -= 1;
+                }
+                prop_assert_eq!(queue.len(), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Summary statistics for experiment reports.
+//!
+//! The paper reports *average* relative response time (Figure 5) and *P95/P99 tail*
+//! response time (Figure 6).  This module provides the small statistics toolkit the
+//! harnesses use to compute those aggregates: a streaming [`SummaryBuilder`] and a
+//! nearest-rank [`percentile`] helper.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `q`-quantile (0.0–1.0) of `values` using the nearest-rank method.
+///
+/// The input does not need to be sorted.  Returns `None` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::percentile;
+///
+/// let latencies = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+/// assert_eq!(percentile(&latencies, 0.5), Some(30.0));
+/// assert_eq!(percentile(&latencies, 0.95), Some(50.0));
+/// assert_eq!(percentile(&[], 0.5), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // Nearest-rank: ceil(q * n), 1-based; clamp for q = 0.
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1) - 1;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+/// A fixed summary of a sample: count, mean, min/max and the tail percentiles the
+/// paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations; returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mut builder = SummaryBuilder::new();
+        for &v in values {
+            builder.record(v);
+        }
+        builder.build()
+    }
+}
+
+/// Accumulates observations and produces a [`Summary`].
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::SummaryBuilder;
+///
+/// let mut builder = SummaryBuilder::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     builder.record(v);
+/// }
+/// let summary = builder.build().expect("non-empty sample");
+/// assert_eq!(summary.count, 3);
+/// assert!((summary.mean - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SummaryBuilder {
+    values: Vec<f64>,
+}
+
+impl SummaryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SummaryBuilder { values: Vec::new() }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.values.push(value);
+    }
+
+    /// Records every observation from an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Returns the number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns a view of the recorded observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Produces the summary, or `None` if nothing was recorded.
+    pub fn build(&self) -> Option<Summary> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let count = self.values.len();
+        let sum: f64 = self.values.iter().sum();
+        let mean = sum / count as f64;
+        let variance = self
+            .values
+            .iter()
+            .map(|v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        let min = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            count,
+            mean,
+            min,
+            max,
+            p50: percentile(&self.values, 0.50).expect("non-empty"),
+            p95: percentile(&self.values, 0.95).expect("non-empty"),
+            p99: percentile(&self.values, 0.99).expect("non-empty"),
+            std_dev: variance.sqrt(),
+        })
+    }
+}
+
+impl Extend<f64> for SummaryBuilder {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.record_all(iter);
+    }
+}
+
+impl FromIterator<f64> for SummaryBuilder {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut builder = SummaryBuilder::new();
+        builder.record_all(iter);
+        builder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let summary = Summary::of(&values).unwrap();
+        assert_eq!(summary.count, 5);
+        assert!((summary.mean - 3.0).abs() < 1e-12);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 5.0);
+        assert_eq!(summary.p50, 3.0);
+        assert_eq!(summary.p95, 5.0);
+        assert_eq!(summary.p99, 5.0);
+        assert!((summary.std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(SummaryBuilder::new().build().is_none());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&a, 0.8), percentile(&b, 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_bad_quantile() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn builder_rejects_nan() {
+        SummaryBuilder::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn builder_collects_from_iterator() {
+        let builder: SummaryBuilder = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(builder.len(), 3);
+        assert!(!builder.is_empty());
+        assert_eq!(builder.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        /// The mean always lies between min and max, and percentiles are monotone.
+        #[test]
+        fn prop_summary_invariants(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+            let summary = Summary::of(&values).unwrap();
+            prop_assert!(summary.min <= summary.mean + 1e-9);
+            prop_assert!(summary.mean <= summary.max + 1e-9);
+            prop_assert!(summary.p50 <= summary.p95);
+            prop_assert!(summary.p95 <= summary.p99);
+            prop_assert!(summary.p99 <= summary.max);
+            prop_assert!(summary.min <= summary.p50);
+            prop_assert_eq!(summary.count, values.len());
+        }
+
+        /// The reported percentile is always one of the observed values.
+        #[test]
+        fn prop_percentile_is_an_observation(
+            values in prop::collection::vec(0.0f64..1e6, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let p = percentile(&values, q).unwrap();
+            prop_assert!(values.iter().any(|v| (*v - p).abs() < f64::EPSILON));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Simulated time.
+//!
+//! All simulation latencies in the VersaSlot reproduction are expressed as integer
+//! microseconds.  Two newtypes keep instants and durations apart at the type level
+//! ([`SimTime`] is a point on the simulated clock, [`SimDuration`] is a span), which
+//! prevents the classic "added two timestamps" bug in scheduling code.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in microseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::{SimDuration, SimTime};
+///
+/// let start = SimTime::ZERO;
+/// let later = start + SimDuration::from_millis(3);
+/// assert_eq!(later.as_micros(), 3_000);
+/// assert_eq!(later - start, SimDuration::from_micros(3_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::SimDuration;
+///
+/// let pr = SimDuration::from_millis(25);
+/// assert_eq!(pr * 3, SimDuration::from_millis(75));
+/// assert_eq!(pr.as_millis_f64(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant from seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Returns the instant as microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) milliseconds since simulation start.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the instant as (fractional) seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "duration must be finite and non-negative, got {millis}"
+        );
+        SimDuration((millis * 1_000.0).round() as u64)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two durations.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a floating point factor, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max_of(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a later SimTime from an earlier one"),
+        )
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a duration longer than the elapsed time"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a longer SimDuration from a shorter one"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl From<SimDuration> for f64 {
+    fn from(value: SimDuration) -> f64 {
+        value.as_micros() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_secs(3).as_micros(), 3_000_000);
+    }
+
+    #[test]
+    fn time_plus_duration_advances() {
+        let t = SimTime::from_micros(100) + SimDuration::from_micros(50);
+        assert_eq!(t, SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn time_difference_is_duration() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a - b, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "subtracted a later SimTime")]
+    fn negative_time_difference_panics() {
+        let _ = SimTime::from_millis(4) - SimTime::from_millis(10);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = SimTime::from_millis(4);
+        let b = SimTime::from_millis(10);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+        assert_eq!(d + d, SimDuration::from_millis(20));
+        assert_eq!(d - SimDuration::from_millis(4), SimDuration::from_millis(6));
+        assert!(d.max_of(SimDuration::from_millis(12)) == SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest_microsecond() {
+        let d = SimDuration::from_micros(1_000);
+        assert_eq!(d.scale(1.5), SimDuration::from_micros(1_500));
+        assert_eq!(d.scale(0.0004), SimDuration::from_micros(0));
+        assert_eq!(d.scale(0.0006), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn from_millis_f64_rounds() {
+        assert_eq!(SimDuration::from_millis_f64(1.1304), SimDuration::from_micros(1_130));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .into_iter()
+            .map(SimDuration::from_millis)
+            .sum();
+        assert_eq!(total, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn display_formats_milliseconds() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+}

@@ -1,0 +1,264 @@
+//! Structured simulation trace.
+//!
+//! The D_switch metric of the paper (Eq. 1) needs to know how many tasks were
+//! *blocked by PR contention* during an observation window, and debugging a
+//! scheduler is much easier with a timeline of what happened.  [`Trace`] is a
+//! lightweight append-only log of [`TraceEvent`]s that both needs are served by.
+//! Recording can be disabled entirely for large benchmark runs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The category of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// An application entered the system.
+    AppArrived,
+    /// An application received a slot allocation.
+    AppAllocated,
+    /// An application finished all of its tasks.
+    AppCompleted,
+    /// A partial reconfiguration request was enqueued on the PCAP.
+    PrRequested,
+    /// A partial reconfiguration started loading on the PCAP.
+    PrStarted,
+    /// A partial reconfiguration finished.
+    PrCompleted,
+    /// A batch item execution was launched on a slot.
+    BatchLaunched,
+    /// A batch item execution completed.
+    BatchCompleted,
+    /// A task finished its whole batch.
+    TaskCompleted,
+    /// A task launch or PR was delayed by PR contention or a blocked CPU core.
+    TaskBlocked,
+    /// A slot was preempted from an application.
+    SlotPreempted,
+    /// A cross-board switch was triggered.
+    SwitchTriggered,
+    /// An application was migrated to another board.
+    AppMigrated,
+    /// Free-form annotation.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TraceKind::AppArrived => "app-arrived",
+            TraceKind::AppAllocated => "app-allocated",
+            TraceKind::AppCompleted => "app-completed",
+            TraceKind::PrRequested => "pr-requested",
+            TraceKind::PrStarted => "pr-started",
+            TraceKind::PrCompleted => "pr-completed",
+            TraceKind::BatchLaunched => "batch-launched",
+            TraceKind::BatchCompleted => "batch-completed",
+            TraceKind::TaskCompleted => "task-completed",
+            TraceKind::TaskBlocked => "task-blocked",
+            TraceKind::SlotPreempted => "slot-preempted",
+            TraceKind::SwitchTriggered => "switch-triggered",
+            TraceKind::AppMigrated => "app-migrated",
+            TraceKind::Note => "note",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// What kind of event it was.
+    pub kind: TraceKind,
+    /// Identifier of the application involved, if any.
+    pub app: Option<u32>,
+    /// Identifier of the task involved, if any.
+    pub task: Option<u32>,
+    /// Identifier of the slot involved, if any.
+    pub slot: Option<u32>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.kind)?;
+        if let Some(app) = self.app {
+            write!(f, " app={app}")?;
+        }
+        if let Some(task) = self.task {
+            write!(f, " task={task}")?;
+        }
+        if let Some(slot) = self.slot {
+            write!(f, " slot={slot}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " — {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// An append-only log of simulation events with per-kind counters.
+///
+/// Counters are always maintained (they are cheap and D_switch depends on them);
+/// full event bodies are only stored when recording is enabled.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::{SimTime, Trace, TraceKind};
+///
+/// let mut trace = Trace::recording();
+/// trace.log(SimTime::from_millis(1), TraceKind::PrRequested, Some(0), Some(0), Some(2), "load T1");
+/// trace.log(SimTime::from_millis(2), TraceKind::TaskBlocked, Some(1), Some(0), None, "PCAP busy");
+/// assert_eq!(trace.count(TraceKind::TaskBlocked), 1);
+/// assert_eq!(trace.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    record_events: bool,
+    events: Vec<TraceEvent>,
+    counts: std::collections::HashMap<TraceKind, u64>,
+}
+
+impl Trace {
+    /// Creates a trace that only maintains counters (no event bodies).
+    pub fn counting_only() -> Self {
+        Trace {
+            record_events: false,
+            events: Vec::new(),
+            counts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Creates a trace that stores full event bodies in addition to counters.
+    pub fn recording() -> Self {
+        Trace {
+            record_events: true,
+            events: Vec::new(),
+            counts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Returns `true` if full event bodies are stored.
+    pub fn is_recording(&self) -> bool {
+        self.record_events
+    }
+
+    /// Records an event.
+    pub fn log(
+        &mut self,
+        time: SimTime,
+        kind: TraceKind,
+        app: Option<u32>,
+        task: Option<u32>,
+        slot: Option<u32>,
+        detail: impl Into<String>,
+    ) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+        if self.record_events {
+            self.events.push(TraceEvent {
+                time,
+                kind,
+                app,
+                task,
+                slot,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Returns how many events of `kind` were recorded.
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Returns the stored event bodies (empty when counting only).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns stored events of a particular kind.
+    pub fn events_of(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total number of events recorded (counted), across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Clears stored events and counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_only_keeps_counters_but_not_bodies() {
+        let mut trace = Trace::counting_only();
+        assert!(!trace.is_recording());
+        for i in 0..5 {
+            trace.log(
+                SimTime::from_micros(i),
+                TraceKind::PrCompleted,
+                None,
+                None,
+                None,
+                "",
+            );
+        }
+        assert_eq!(trace.count(TraceKind::PrCompleted), 5);
+        assert_eq!(trace.count(TraceKind::TaskBlocked), 0);
+        assert!(trace.events().is_empty());
+        assert_eq!(trace.total(), 5);
+    }
+
+    #[test]
+    fn recording_stores_bodies_in_order() {
+        let mut trace = Trace::recording();
+        trace.log(SimTime::from_millis(1), TraceKind::AppArrived, Some(3), None, None, "app 3");
+        trace.log(SimTime::from_millis(2), TraceKind::AppCompleted, Some(3), None, None, "done");
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::AppArrived);
+        assert_eq!(events[1].kind, TraceKind::AppCompleted);
+        assert_eq!(trace.events_of(TraceKind::AppArrived).count(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut trace = Trace::recording();
+        trace.log(SimTime::ZERO, TraceKind::Note, None, None, None, "x");
+        trace.clear();
+        assert_eq!(trace.total(), 0);
+        assert!(trace.events().is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let event = TraceEvent {
+            time: SimTime::from_millis(1),
+            kind: TraceKind::TaskBlocked,
+            app: Some(2),
+            task: Some(1),
+            slot: Some(4),
+            detail: "PCAP busy".to_string(),
+        };
+        let text = event.to_string();
+        assert!(text.contains("task-blocked"));
+        assert!(text.contains("app=2"));
+        assert!(text.contains("slot=4"));
+        assert!(text.contains("PCAP busy"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The paper's benchmark application suite with a synthetic synthesis dataset.
+//!
+//! The paper uses the same benchmark as Nimblock: 3D Rendering (3 tasks), LeNet
+//! (6 tasks), Image Compression (6 tasks), AlexNet (6 tasks) and Optical Flow
+//! (9 tasks), partitioned by an automated Vivado TCL flow so that every task fits a
+//! Little slot, and with 3-in-1 bundle bitstreams generated for Big slots.
+//!
+//! The Vivado flow is not available to this reproduction, so the per-task and
+//! per-bundle implementation footprints below form a *synthetic synthesis dataset*
+//! calibrated against the utilization data the paper reports:
+//!
+//! * the Image Compression task-level detail of Figure 7 (first three tasks at
+//!   0.57 / 0.38 / 0.28 LUT utilization, 3-in-1 bundle at 0.60), and
+//! * the per-application LUT/FF utilization improvements of Figure 7
+//!   (IC ≈ 42/48 %, AlexNet ≈ 36/41 %, 3DR ≈ 10/18 %, Optical Flow ≈ 10/14 %).
+//!
+//! Execution latencies are calibrated so that one application occupies a
+//! whole-FPGA baseline for roughly 2–3.5 s (full reconfiguration plus pipelined
+//! batch execution), which places the Standard congestion condition
+//! (1.5–2 s arrivals) just past the baseline's saturation point — the regime in
+//! which the paper's Figure 5 speedups arise.
+
+use serde::{Deserialize, Serialize};
+use versaslot_fpga::ResourceVector;
+use versaslot_sim::SimDuration;
+
+use crate::application::{ApplicationSpec, BundleSpec};
+use crate::task::TaskSpec;
+
+/// Little-slot capacity the dataset is calibrated against (must match
+/// [`versaslot_fpga::board::BoardSpec::zcu216_little_capacity`]).
+const LITTLE: ResourceVector = ResourceVector::new(40_000, 80_000, 160, 120);
+
+/// The five benchmark applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkApp {
+    /// 3D Rendering — 3 tasks, large per-task footprint.
+    Rendering3D,
+    /// LeNet inference — 6 small tasks.
+    LeNet,
+    /// Image Compression — 6 tasks (the app Figure 7 details).
+    ImageCompression,
+    /// AlexNet inference — 6 tasks.
+    AlexNet,
+    /// Optical Flow — 9 tasks, the deepest pipeline.
+    OpticalFlow,
+}
+
+impl BenchmarkApp {
+    /// All five applications in the order the paper lists them.
+    pub fn suite() -> Vec<ApplicationSpec> {
+        [
+            BenchmarkApp::Rendering3D,
+            BenchmarkApp::LeNet,
+            BenchmarkApp::ImageCompression,
+            BenchmarkApp::AlexNet,
+            BenchmarkApp::OpticalFlow,
+        ]
+        .iter()
+        .map(|app| app.spec())
+        .collect()
+    }
+
+    /// The applications Figure 7 reports 3-in-1 utilization improvements for.
+    pub fn figure7_apps() -> Vec<BenchmarkApp> {
+        vec![
+            BenchmarkApp::ImageCompression,
+            BenchmarkApp::AlexNet,
+            BenchmarkApp::Rendering3D,
+            BenchmarkApp::OpticalFlow,
+        ]
+    }
+
+    /// Index of this application inside [`BenchmarkApp::suite`].
+    pub fn suite_index(&self) -> usize {
+        match self {
+            BenchmarkApp::Rendering3D => 0,
+            BenchmarkApp::LeNet => 1,
+            BenchmarkApp::ImageCompression => 2,
+            BenchmarkApp::AlexNet => 3,
+            BenchmarkApp::OpticalFlow => 4,
+        }
+    }
+
+    /// Short name used in reports ("3DR", "LeNet", "IC", "AN", "OF").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            BenchmarkApp::Rendering3D => "3DR",
+            BenchmarkApp::LeNet => "LeNet",
+            BenchmarkApp::ImageCompression => "IC",
+            BenchmarkApp::AlexNet => "AN",
+            BenchmarkApp::OpticalFlow => "OF",
+        }
+    }
+
+    /// Builds the full [`ApplicationSpec`] (tasks plus 3-in-1 bundles).
+    pub fn spec(&self) -> ApplicationSpec {
+        match self {
+            BenchmarkApp::Rendering3D => rendering_3d(),
+            BenchmarkApp::LeNet => lenet(),
+            BenchmarkApp::ImageCompression => image_compression(),
+            BenchmarkApp::AlexNet => alexnet(),
+            BenchmarkApp::OpticalFlow => optical_flow(),
+        }
+    }
+}
+
+/// Builds a task whose Little-slot implementation uses the given LUT/FF utilization
+/// fractions of the Little slot capacity.
+fn task(name: &str, exec_ms: u64, lut_util: f64, ff_util: f64, data_kib: u64) -> TaskSpec {
+    let little_impl = ResourceVector::new(
+        (LITTLE.lut as f64 * lut_util).round() as u64,
+        (LITTLE.ff as f64 * ff_util).round() as u64,
+        (LITTLE.dsp as f64 * lut_util * 0.8).round() as u64,
+        (LITTLE.bram as f64 * ff_util * 0.7).round() as u64,
+    );
+    // HLS synthesis over-estimates in steps; the partitioner saw roughly 1.3–1.7x
+    // the final implementation (Figure 7 quotes 0.98 synthesis vs 0.57 implementation
+    // for the first IC task, a factor of ~1.7).
+    let synth = little_impl.scale(1.55).component_max(&little_impl);
+    TaskSpec::new(name, SimDuration::from_millis(exec_ms))
+        .with_little_impl(little_impl)
+        .with_synth_estimate(synth)
+        .with_data_per_item(data_kib * 1024)
+}
+
+/// Builds a 3-in-1 bundle whose Big-slot implementation uses the given LUT/FF
+/// utilization fractions of the Big slot (2× Little) capacity.
+fn bundle(first_task: u32, lut_util: f64, ff_util: f64) -> BundleSpec {
+    let big = LITTLE * 2;
+    BundleSpec {
+        first_task,
+        task_count: 3,
+        big_impl: ResourceVector::new(
+            (big.lut as f64 * lut_util).round() as u64,
+            (big.ff as f64 * ff_util).round() as u64,
+            (big.dsp as f64 * lut_util * 0.8).round() as u64,
+            (big.bram as f64 * ff_util * 0.7).round() as u64,
+        ),
+    }
+}
+
+/// 3D Rendering: 3 heavyweight tasks (projection, rasterization, z-buffer/shading).
+///
+/// Per-task utilization is high, so the 3-in-1 bundle is capacity-limited and the
+/// utilization gain is small (paper: ≈ +9.9 % LUT / +17.7 % FF).
+fn rendering_3d() -> ApplicationSpec {
+    let tasks = vec![
+        task("projection", 105, 0.74, 0.60, 512),
+        task("rasterization", 95, 0.70, 0.56, 512),
+        task("shading", 88, 0.66, 0.52, 512),
+    ];
+    ApplicationSpec::new("3d-rendering", tasks).with_bundles(vec![bundle(0, 0.769, 0.659)])
+}
+
+/// LeNet: 6 small tasks (conv1, pool1, conv2, pool2, fc1, fc2).
+fn lenet() -> ApplicationSpec {
+    let tasks = vec![
+        task("conv1", 52, 0.38, 0.33, 8),
+        task("pool1", 34, 0.22, 0.20, 8),
+        task("conv2", 60, 0.42, 0.37, 8),
+        task("pool2", 34, 0.22, 0.20, 8),
+        task("fc1", 48, 0.35, 0.31, 8),
+        task("fc2", 40, 0.28, 0.24, 8),
+    ];
+    ApplicationSpec::new("lenet", tasks)
+        .with_bundles(vec![bundle(0, 0.70, 0.62), bundle(3, 0.60, 0.53)])
+}
+
+/// Image Compression: 6 tasks.  The first three (colour transform, DCT, quantize)
+/// are the ones Figure 7 details: 0.57 / 0.38 / 0.28 LUT utilization individually,
+/// 0.60 when bundled.
+fn image_compression() -> ApplicationSpec {
+    let tasks = vec![
+        task("color-transform", 92, 0.57, 0.46, 256),
+        task("dct", 78, 0.38, 0.31, 256),
+        task("quantize", 55, 0.28, 0.25, 256),
+        task("zigzag", 60, 0.44, 0.38, 256),
+        task("rle", 52, 0.36, 0.30, 256),
+        task("huffman", 70, 0.31, 0.28, 256),
+    ];
+    ApplicationSpec::new("image-compression", tasks)
+        .with_bundles(vec![bundle(0, 0.600, 0.515), bundle(3, 0.510, 0.462)])
+}
+
+/// AlexNet: 6 tasks (two conv stages, pooling, normalization and two FC stages).
+fn alexnet() -> ApplicationSpec {
+    let tasks = vec![
+        task("conv1-2", 98, 0.52, 0.44, 160),
+        task("conv3-5", 90, 0.47, 0.40, 160),
+        task("pool-norm", 66, 0.41, 0.36, 160),
+        task("fc6", 84, 0.49, 0.42, 160),
+        task("fc7", 76, 0.45, 0.38, 160),
+        task("fc8-softmax", 58, 0.40, 0.34, 160),
+    ];
+    ApplicationSpec::new("alexnet", tasks)
+        .with_bundles(vec![bundle(0, 0.640, 0.566), bundle(3, 0.606, 0.537)])
+}
+
+/// Optical Flow: 9 tasks, the deepest pipeline of the suite; per-task utilization is
+/// high, so bundle gains are modest (paper: ≈ +9.6 % LUT / +14.1 % FF).
+fn optical_flow() -> ApplicationSpec {
+    let tasks = vec![
+        task("gradient-xy", 80, 0.72, 0.58, 1024),
+        task("gradient-z", 72, 0.68, 0.54, 1024),
+        task("weight-x", 66, 0.64, 0.50, 1024),
+        task("weight-y", 78, 0.70, 0.56, 1024),
+        task("outer-product", 70, 0.66, 0.52, 1024),
+        task("tensor-x", 64, 0.62, 0.48, 1024),
+        task("tensor-y", 76, 0.68, 0.54, 1024),
+        task("flow-calc", 68, 0.64, 0.50, 1024),
+        task("flow-smooth", 62, 0.60, 0.46, 1024),
+    ];
+    ApplicationSpec::new("optical-flow", tasks).with_bundles(vec![
+        bundle(0, 0.745, 0.616),
+        bundle(3, 0.723, 0.604),
+        bundle(6, 0.702, 0.570),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_task_counts() {
+        let suite = BenchmarkApp::suite();
+        let counts: Vec<u32> = suite.iter().map(|a| a.task_count()).collect();
+        // 3DR=3, LeNet=6, IC=6, AN=6, OF=9 — exactly the paper's benchmark.
+        assert_eq!(counts, vec![3, 6, 6, 6, 9]);
+        for (i, app) in [
+            BenchmarkApp::Rendering3D,
+            BenchmarkApp::LeNet,
+            BenchmarkApp::ImageCompression,
+            BenchmarkApp::AlexNet,
+            BenchmarkApp::OpticalFlow,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(app.suite_index(), i);
+        }
+    }
+
+    #[test]
+    fn every_task_fits_a_little_slot() {
+        for app in BenchmarkApp::suite() {
+            for task in app.tasks() {
+                assert!(
+                    task.fits_slot(&LITTLE),
+                    "{} / {} does not fit a Little slot",
+                    app.name(),
+                    task.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bundle_fits_a_big_slot() {
+        let big = LITTLE * 2;
+        for app in BenchmarkApp::suite() {
+            for bundle in app.bundles() {
+                assert!(
+                    bundle.big_impl.fits_within(&big),
+                    "{} bundle at task {} does not fit a Big slot",
+                    app.name(),
+                    bundle.first_task
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bundles_cover_the_whole_pipeline_in_threes() {
+        for app in BenchmarkApp::suite() {
+            assert!(app.can_bundle(), "{} should be bundleable", app.name());
+            assert_eq!(
+                app.bundles().len() as u32 * 3,
+                app.task_count(),
+                "{} bundles do not tile the pipeline",
+                app.name()
+            );
+            for (i, bundle) in app.bundles().iter().enumerate() {
+                assert_eq!(bundle.first_task, i as u32 * 3);
+                assert_eq!(bundle.task_count, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn image_compression_matches_figure7_detail() {
+        let ic = BenchmarkApp::ImageCompression.spec();
+        let utils: Vec<f64> = ic
+            .tasks()
+            .iter()
+            .take(3)
+            .map(|t| t.little_impl().utilization_of(&LITTLE).lut)
+            .collect();
+        assert!((utils[0] - 0.57).abs() < 0.01);
+        assert!((utils[1] - 0.38).abs() < 0.01);
+        assert!((utils[2] - 0.28).abs() < 0.01);
+        let bundle_util = ic.bundles()[0]
+            .big_impl
+            .utilization_of(&(LITTLE * 2))
+            .lut;
+        assert!((bundle_util - 0.60).abs() < 0.01);
+    }
+
+    #[test]
+    fn synthesis_estimates_exceed_implementation() {
+        for app in BenchmarkApp::suite() {
+            for task in app.tasks() {
+                assert!(task.synth_estimate().lut >= task.little_impl().lut);
+                assert!(task.synth_estimate().ff >= task.little_impl().ff);
+            }
+        }
+    }
+
+    #[test]
+    fn short_names_match_paper_labels() {
+        assert_eq!(BenchmarkApp::Rendering3D.short_name(), "3DR");
+        assert_eq!(BenchmarkApp::ImageCompression.short_name(), "IC");
+        assert_eq!(BenchmarkApp::AlexNet.short_name(), "AN");
+        assert_eq!(BenchmarkApp::OpticalFlow.short_name(), "OF");
+        assert_eq!(BenchmarkApp::LeNet.short_name(), "LeNet");
+    }
+
+    #[test]
+    fn figure7_apps_are_the_four_reported() {
+        let apps = BenchmarkApp::figure7_apps();
+        assert_eq!(apps.len(), 4);
+        assert!(!apps.contains(&BenchmarkApp::LeNet));
+    }
+
+    #[test]
+    fn baseline_occupancy_is_in_the_multi_second_regime() {
+        // With an average batch of ~17, a whole-FPGA pipelined run of any app should
+        // take on the order of seconds — the calibration DESIGN.md §5 describes.
+        for app in BenchmarkApp::suite() {
+            let batch = 17u64;
+            let makespan =
+                app.max_stage_time() * (batch + app.task_count() as u64 - 1);
+            let secs = makespan.as_secs_f64();
+            assert!(
+                (0.8..5.0).contains(&secs),
+                "{} pipelined makespan {secs:.2}s outside calibrated range",
+                app.name()
+            );
+        }
+    }
+}

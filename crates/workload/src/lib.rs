@@ -1,0 +1,44 @@
+//! Benchmark applications and workload generation for the VersaSlot reproduction.
+//!
+//! The paper evaluates VersaSlot with the same application suite as Nimblock:
+//! 3D Rendering (3 tasks), LeNet (6), Image Compression (6), AlexNet (6) and
+//! Optical Flow (9), partitioned into Little-slot-sized tasks by an automated
+//! Vivado HLS/TCL flow, and driven by randomly generated application sequences
+//! (10 sequences × 20 apps, batch sizes 5–30) under four congestion conditions.
+//!
+//! Since neither the original bitstreams nor the Vivado flow are available, this
+//! crate ships a *synthetic synthesis dataset* ([`benchmarks`]) calibrated to the
+//! utilization numbers the paper reports (Figure 7), plus the workload generator
+//! that reproduces the evaluation's arrival processes ([`generator`]).
+//!
+//! # Example
+//!
+//! ```
+//! use versaslot_workload::benchmarks::BenchmarkApp;
+//! use versaslot_workload::generator::{WorkloadConfig, generate_sequence};
+//! use versaslot_workload::congestion::Congestion;
+//!
+//! let suite = BenchmarkApp::suite();
+//! assert_eq!(suite.len(), 5);
+//!
+//! let config = WorkloadConfig::paper_default(Congestion::Standard);
+//! let sequence = generate_sequence(&config, 0);
+//! assert_eq!(sequence.arrivals.len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod benchmarks;
+pub mod congestion;
+pub mod generator;
+pub mod partition;
+pub mod task;
+
+pub use application::{AppArrival, AppId, ApplicationSpec, BundleSpec};
+pub use benchmarks::BenchmarkApp;
+pub use congestion::Congestion;
+pub use generator::{generate_sequence, generate_workload, Workload, WorkloadConfig, WorkloadSequence};
+pub use partition::{partition_application, PartitionError};
+pub use task::{TaskId, TaskSpec};

@@ -1,0 +1,68 @@
+//! 3-in-1 bundling report: for every benchmark application, show how its tasks
+//! bundle into Big-slot 3-in-1 tasks, which organisation (serial or parallel) the
+//! runtime criterion selects at different batch sizes, and the resulting LUT/FF
+//! utilization gain (a small-scale Figure 7).
+//!
+//! ```text
+//! cargo run --example bundling_report
+//! ```
+
+use versaslot::core::bundling::{choose_mode, plan_bundle, BundleMode};
+use versaslot::fpga::board::BoardSpec;
+use versaslot::sim::SimDuration;
+use versaslot::workload::benchmarks::BenchmarkApp;
+
+fn main() {
+    let little = BoardSpec::zcu216_little_capacity();
+    let big = little * 2;
+
+    for kind in [
+        BenchmarkApp::ImageCompression,
+        BenchmarkApp::AlexNet,
+        BenchmarkApp::Rendering3D,
+        BenchmarkApp::OpticalFlow,
+        BenchmarkApp::LeNet,
+    ] {
+        let app = kind.spec();
+        println!("{} ({} tasks, {} bundles)", app.name(), app.task_count(), app.bundles().len());
+        for (i, bundle) in app.bundles().iter().enumerate() {
+            let members: Vec<&str> = bundle
+                .task_range()
+                .map(|t| app.tasks()[t as usize].name())
+                .collect();
+            let member_times: Vec<SimDuration> = bundle
+                .task_range()
+                .map(|t| app.tasks()[t as usize].exec_per_item())
+                .collect();
+            let util = bundle.big_impl.utilization_of(&big);
+            let avg_member_lut: f64 = bundle
+                .task_range()
+                .map(|t| app.tasks()[t as usize].little_impl().utilization_of(&little).lut)
+                .sum::<f64>()
+                / 3.0;
+            println!(
+                "  bundle {} [{}]  LUT {:.2} vs avg task {:.2} (+{:.0}%)",
+                i + 1,
+                members.join(", "),
+                util.lut,
+                avg_member_lut,
+                (util.lut / avg_member_lut - 1.0) * 100.0
+            );
+            for batch in [2u32, 10, 25] {
+                let mode = choose_mode(&member_times, batch);
+                let exec = plan_bundle(&app, bundle, batch, SimDuration::ZERO);
+                let label = match mode {
+                    BundleMode::Parallel => "parallel",
+                    BundleMode::Serial => "serial",
+                };
+                println!(
+                    "      batch {:>2}: {:<8} makespan {}",
+                    batch,
+                    label,
+                    exec.batch_makespan(batch)
+                );
+            }
+        }
+        println!();
+    }
+}

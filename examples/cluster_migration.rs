@@ -1,0 +1,56 @@
+//! Cross-board switching demo: run a long workload on a two-board cluster with
+//! D_switch-driven live migration and print the D_switch trace and migration
+//! overheads (a small-scale Figure 8).
+//!
+//! ```text
+//! cargo run --release --example cluster_migration
+//! ```
+
+use versaslot::core::runner::{run_cluster_sequence, ClusterMode};
+use versaslot::core::SwitchingConfig;
+use versaslot::workload::{generate_workload, WorkloadConfig};
+
+fn main() {
+    let config = WorkloadConfig::paper_switching().with_shape(1, 40);
+    let workload = generate_workload(&config);
+    let sequence = &workload.sequences[0];
+
+    println!("Cluster running modes over one 40-application Standard workload:\n");
+    let mut only_little_mean = None;
+    for mode in ClusterMode::all() {
+        let report =
+            run_cluster_sequence(mode, &workload, sequence, SwitchingConfig::default());
+        let mean = report.mean_response_ms();
+        let relative = only_little_mean
+            .map(|base: f64| format!("{:.2}x vs Only.Little", base / mean))
+            .unwrap_or_else(|| "baseline".to_string());
+        if mode == ClusterMode::OnlyLittle {
+            only_little_mean = Some(mean);
+        }
+        println!(
+            "{:<18} mean response {:>9.0} ms   switches {:>2}   ({relative})",
+            mode.label(),
+            mean,
+            report.switches
+        );
+
+        if mode == ClusterMode::Switching {
+            println!("\n  D_switch trace (threshold up 0.1, down 0.0125):");
+            for sample in &report.dswitch_trace {
+                println!(
+                    "    completed {:>3}  D_switch {:>7.4}  on {:<12}{}",
+                    sample.completed_apps,
+                    sample.value,
+                    sample.active_layout.to_string(),
+                    if sample.triggered_switch { "  << switch" } else { "" }
+                );
+            }
+            for migration in &report.migrations {
+                println!(
+                    "  migration at {}: {} apps, overhead {}",
+                    migration.triggered_at, migration.migrated_apps, migration.overhead
+                );
+            }
+        }
+    }
+}

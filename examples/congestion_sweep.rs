@@ -1,0 +1,38 @@
+//! Congestion sweep: compare all six systems of the paper's evaluation on a
+//! reduced random workload under the four congestion conditions (a small-scale
+//! Figure 5).
+//!
+//! ```text
+//! cargo run --release --example congestion_sweep
+//! ```
+
+use versaslot::core::metrics::{pooled_mean_response_ms, relative_reduction};
+use versaslot::core::runner::{run_workload, SchedulerKind};
+use versaslot::workload::{generate_workload, Congestion, WorkloadConfig};
+
+fn main() {
+    let shape = (3u32, 12u32); // sequences × apps — reduced from the paper's 10 × 20
+    println!(
+        "Relative response time reduction vs Baseline ({}x{} apps per condition, higher is better)\n",
+        shape.0, shape.1
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "Scheduler", "Loose", "Standard", "Stress", "Real-time"
+    );
+
+    let mut table = vec![String::new(); SchedulerKind::all().len()];
+    for congestion in Congestion::all() {
+        let config = WorkloadConfig::paper_default(congestion).with_shape(shape.0, shape.1);
+        let workload = generate_workload(&config);
+        let baseline = pooled_mean_response_ms(&run_workload(SchedulerKind::Baseline, &workload));
+        for (i, kind) in SchedulerKind::all().into_iter().enumerate() {
+            let mean = pooled_mean_response_ms(&run_workload(kind, &workload));
+            table[i].push_str(&format!(" {:>10.2}", relative_reduction(baseline, mean)));
+        }
+    }
+    for (i, kind) in SchedulerKind::all().into_iter().enumerate() {
+        println!("{:<24}{}", kind.label(), table[i]);
+    }
+    println!("\nRun `cargo run -p versaslot-bench --release --bin fig5` for the full-size figure.");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: generated workloads driven through the full
+//! simulator with every scheduler, checking end-to-end invariants rather than
+//! per-module behaviour.
+
+use versaslot::core::metrics::{pooled_mean_response_ms, relative_reduction};
+use versaslot::core::runner::{run_cluster_sequence, run_workload, ClusterMode, SchedulerKind};
+use versaslot::core::SwitchingConfig;
+use versaslot::workload::benchmarks::BenchmarkApp;
+use versaslot::workload::{generate_workload, Congestion, WorkloadConfig};
+
+fn small_workload(congestion: Congestion) -> versaslot::workload::Workload {
+    generate_workload(&WorkloadConfig::paper_default(congestion).with_shape(2, 8))
+}
+
+#[test]
+fn every_scheduler_completes_every_congestion_condition() {
+    for congestion in Congestion::all() {
+        let workload = small_workload(congestion);
+        for kind in SchedulerKind::all() {
+            let reports = run_workload(kind, &workload);
+            for (report, sequence) in reports.iter().zip(&workload.sequences) {
+                assert_eq!(
+                    report.completed(),
+                    sequence.arrivals.len(),
+                    "{kind:?} under {congestion:?} lost applications"
+                );
+                // Every response is positive and at least the app's bottleneck work.
+                for app in &report.apps {
+                    assert!(app.response().as_millis_f64() > 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn responses_are_never_shorter_than_the_pipeline_bound() {
+    let workload = small_workload(Congestion::Loose);
+    for kind in [SchedulerKind::Baseline, SchedulerKind::VersaSlotBigLittle] {
+        for (report, _) in run_workload(kind, &workload).iter().zip(&workload.sequences) {
+            for app in &report.apps {
+                let spec = &workload.suite[app.app_index];
+                let bound = spec.max_stage_time() * app.batch_size as u64;
+                assert!(
+                    app.response() >= bound,
+                    "{kind:?}: {} finished faster than its bottleneck bound",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharing_systems_beat_the_baseline_under_contention() {
+    // The headline qualitative claim of the paper: under Standard and heavier
+    // congestion, fine-grained sharing (VersaSlot) beats exclusive temporal
+    // multiplexing by a large factor, and the Big.Little design is at least
+    // competitive with every single-core comparator.
+    for congestion in [Congestion::Standard, Congestion::Stress] {
+        let workload = small_workload(congestion);
+        let baseline = pooled_mean_response_ms(&run_workload(SchedulerKind::Baseline, &workload));
+        let big_little = pooled_mean_response_ms(&run_workload(
+            SchedulerKind::VersaSlotBigLittle,
+            &workload,
+        ));
+        let nimblock =
+            pooled_mean_response_ms(&run_workload(SchedulerKind::Nimblock, &workload));
+        let speedup = relative_reduction(baseline, big_little);
+        assert!(
+            speedup > 1.3,
+            "{congestion:?}: expected a clear win over the baseline, got {speedup:.2}x"
+        );
+        assert!(
+            big_little <= nimblock * 1.1,
+            "{congestion:?}: Big.Little should be at least competitive with Nimblock"
+        );
+    }
+}
+
+#[test]
+fn versaslot_big_little_uses_big_slots_and_fewer_prs() {
+    let workload = small_workload(Congestion::Standard);
+    let bl = run_workload(SchedulerKind::VersaSlotBigLittle, &workload);
+    let ol = run_workload(SchedulerKind::VersaSlotOnlyLittle, &workload);
+    let bl_pr: u64 = bl.iter().map(|r| r.total_pr).sum();
+    let ol_pr: u64 = ol.iter().map(|r| r.total_pr).sum();
+    assert!(bl_pr < ol_pr, "bundling should reduce PR count ({bl_pr} vs {ol_pr})");
+    assert!(bl
+        .iter()
+        .flat_map(|r| r.apps.iter())
+        .any(|a| a.used_big_slot));
+}
+
+#[test]
+fn cluster_switching_mode_is_consistent() {
+    let workload = generate_workload(&WorkloadConfig::paper_switching().with_shape(1, 24));
+    let sequence = &workload.sequences[0];
+    let report = run_cluster_sequence(
+        ClusterMode::Switching,
+        &workload,
+        sequence,
+        SwitchingConfig::default(),
+    );
+    assert_eq!(report.completed(), 24);
+    // Every D_switch sample respects the metric's bounds.
+    for sample in &report.dswitch_trace {
+        assert!(sample.value > 0.0 && sample.value < 1.0);
+    }
+    // Migrations (if any) carry the ~millisecond overhead the paper reports.
+    for migration in &report.migrations {
+        assert!(migration.overhead.as_millis_f64() < 10.0);
+    }
+}
+
+#[test]
+fn figure7_dataset_reproduces_headline_utilization_gains() {
+    // +35% LUT / +29% FF on average for the bundled applications (paper abstract).
+    let little = versaslot::fpga::board::BoardSpec::zcu216_little_capacity();
+    let big = little * 2;
+    let mut lut_gains = Vec::new();
+    let mut ff_gains = Vec::new();
+    for kind in BenchmarkApp::figure7_apps() {
+        let app = kind.spec();
+        for bundle in app.bundles() {
+            let avg_lut: f64 = bundle
+                .task_range()
+                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).lut)
+                .sum::<f64>()
+                / 3.0;
+            let avg_ff: f64 = bundle
+                .task_range()
+                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).ff)
+                .sum::<f64>()
+                / 3.0;
+            lut_gains.push((bundle.big_impl.utilization_of(&big).lut / avg_lut - 1.0) * 100.0);
+            ff_gains.push((bundle.big_impl.utilization_of(&big).ff / avg_ff - 1.0) * 100.0);
+        }
+    }
+    let mean_lut = lut_gains.iter().sum::<f64>() / lut_gains.len() as f64;
+    let mean_ff = ff_gains.iter().sum::<f64>() / ff_gains.len() as f64;
+    assert!(mean_lut > 15.0, "mean LUT gain {mean_lut:.1}%");
+    assert!(mean_ff > 15.0, "mean FF gain {mean_ff:.1}%");
+}
