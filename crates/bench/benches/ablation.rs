@@ -16,9 +16,8 @@ use versaslot_fpga::slot::SlotLayout;
 use versaslot_workload::{generate_workload, Congestion, WorkloadConfig};
 
 fn run_board(board: BoardSpec) -> f64 {
-    let workload = generate_workload(
-        &WorkloadConfig::paper_default(Congestion::Standard).with_shape(2, 10),
-    );
+    let workload =
+        generate_workload(&WorkloadConfig::paper_default(Congestion::Standard).with_shape(2, 10));
     let reports: Vec<_> = workload
         .sequences
         .iter()

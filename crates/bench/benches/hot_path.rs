@@ -1,0 +1,36 @@
+//! Hot-path benchmark: one stress-congestion sequence through the sharing
+//! simulator, tracking simulated events per wall-clock second.
+//!
+//! Besides printing Criterion-style samples, the bench writes
+//! `BENCH_hotpath.json` at the repository root so successive PRs can follow the
+//! scheduler hot-path trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use versaslot_bench::{hot_path_run, hot_path_workload};
+
+fn bench_hot_path(c: &mut Criterion) {
+    let workload = hot_path_workload();
+    let stats = hot_path_run(&workload);
+    eprintln!(
+        "\nhot path: {} simulated events in {:.1} ms — {:.0} events/s",
+        stats.simulated_events,
+        stats.wall_seconds * 1e3,
+        stats.events_per_sec
+    );
+    let json = serde_json::to_string_pretty(&stats).expect("throughput serialises");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    if let Err(err) = std::fs::write(path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+    }
+
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(10);
+    group.bench_function("stress_sequence", |b| {
+        // The workload is pre-generated: only the simulation run is timed.
+        b.iter(|| hot_path_run(&workload).simulated_events);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

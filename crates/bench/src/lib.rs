@@ -19,14 +19,14 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use versaslot_core::metrics::{
     pooled_mean_response_ms, pooled_percentile_ms, relative_reduction, relative_tail, RunReport,
 };
-use versaslot_core::runner::{
-    run_cluster_sequence, run_workload, ClusterMode, SchedulerKind,
-};
+use versaslot_core::par::{parallel_map, Parallelism};
+use versaslot_core::runner::{run_cluster_sequence, run_sequence, ClusterMode, SchedulerKind};
 use versaslot_core::SwitchingConfig;
 use versaslot_fpga::board::BoardSpec;
 use versaslot_workload::benchmarks::BenchmarkApp;
@@ -72,17 +72,45 @@ impl Shape {
 
 fn workload_for(congestion: Congestion, shape: Shape) -> Workload {
     generate_workload(
-        &WorkloadConfig::paper_default(congestion).with_shape(shape.sequences, shape.apps_per_sequence),
+        &WorkloadConfig::paper_default(congestion)
+            .with_shape(shape.sequences, shape.apps_per_sequence),
     )
 }
 
-/// Runs every scheduler over the workload of one congestion condition.
+/// Runs every scheduler over the workload of one congestion condition, fanning
+/// the whole (scheduler × sequence) job matrix out across worker threads.
 pub fn run_matrix(congestion: Congestion, shape: Shape) -> BTreeMap<String, Vec<RunReport>> {
+    run_matrix_with(congestion, shape, Parallelism::Auto)
+}
+
+/// [`run_matrix`] with an explicit execution mode (the determinism tests compare
+/// the two paths).
+///
+/// Every (scheduler, sequence) cell is an independent simulation, so all
+/// `6 × sequences` jobs go through one [`parallel_map`] call; the results are
+/// regrouped per scheduler in input order, making the output byte-identical
+/// between sequential and parallel runs.
+pub fn run_matrix_with(
+    congestion: Congestion,
+    shape: Shape,
+    parallelism: Parallelism,
+) -> BTreeMap<String, Vec<RunReport>> {
     let workload = workload_for(congestion, shape);
-    SchedulerKind::all()
+    let jobs: Vec<(SchedulerKind, usize)> = SchedulerKind::all()
         .into_iter()
-        .map(|kind| (kind.label().to_string(), run_workload(kind, &workload)))
-        .collect()
+        .flat_map(|kind| (0..workload.sequences.len()).map(move |seq| (kind, seq)))
+        .collect();
+    let reports = parallel_map(parallelism, &jobs, |&(kind, seq)| {
+        run_sequence(kind, &workload, &workload.sequences[seq])
+    });
+    let mut matrix: BTreeMap<String, Vec<RunReport>> = BTreeMap::new();
+    for (&(kind, _), report) in jobs.iter().zip(reports) {
+        matrix
+            .entry(kind.label().to_string())
+            .or_default()
+            .push(report);
+    }
+    matrix
 }
 
 // ---------------------------------------------------------------------------
@@ -170,11 +198,14 @@ pub struct Fig6Row {
 /// the Standard, Stress and Real-time conditions.
 pub fn figure6(shape: Shape) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
-    for congestion in [Congestion::Standard, Congestion::Stress, Congestion::RealTime] {
+    for congestion in [
+        Congestion::Standard,
+        Congestion::Stress,
+        Congestion::RealTime,
+    ] {
         let matrix = run_matrix(congestion, shape);
         for (label, q) in [("P95", 0.95), ("P99", 0.99)] {
-            let baseline_tail =
-                pooled_percentile_ms(&matrix[SchedulerKind::Baseline.label()], q);
+            let baseline_tail = pooled_percentile_ms(&matrix[SchedulerKind::Baseline.label()], q);
             for kind in SchedulerKind::all() {
                 let tail = pooled_percentile_ms(&matrix[kind.label()], q);
                 rows.push(Fig6Row {
@@ -275,11 +306,21 @@ pub fn figure7() -> Fig7 {
         for bundle in app.bundles() {
             let member_lut: Vec<f64> = bundle
                 .task_range()
-                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).lut)
+                .map(|i| {
+                    app.tasks()[i as usize]
+                        .little_impl()
+                        .utilization_of(&little)
+                        .lut
+                })
                 .collect();
             let member_ff: Vec<f64> = bundle
                 .task_range()
-                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).ff)
+                .map(|i| {
+                    app.tasks()[i as usize]
+                        .little_impl()
+                        .utilization_of(&little)
+                        .ff
+                })
                 .collect();
             let avg_lut = member_lut.iter().sum::<f64>() / member_lut.len() as f64;
             let avg_ff = member_ff.iter().sum::<f64>() / member_ff.len() as f64;
@@ -309,8 +350,8 @@ pub fn figure7() -> Fig7 {
             )
         })
         .collect();
-    let average = task_utilization.iter().map(|(_, u)| *u).sum::<f64>()
-        / task_utilization.len() as f64;
+    let average =
+        task_utilization.iter().map(|(_, u)| *u).sum::<f64>() / task_utilization.len() as f64;
     let ic_detail = Fig7Detail {
         average_task_utilization: average,
         bundle_utilization: first_bundle.big_impl.utilization_of(&big).lut,
@@ -328,7 +369,9 @@ pub fn figure7() -> Fig7 {
 /// Renders Figure 7 as text.
 pub fn format_figure7(fig: &Fig7) -> String {
     let mut out = String::new();
-    out.push_str("Figure 7 — Resource utilization increase of 3-in-1 tasks (percent, higher is better)\n");
+    out.push_str(
+        "Figure 7 — Resource utilization increase of 3-in-1 tasks (percent, higher is better)\n",
+    );
     out.push_str(&format!("{:<6} {:>8} {:>8}\n", "App", "LUT", "FF"));
     for row in &fig.rows {
         out.push_str(&format!(
@@ -388,19 +431,31 @@ pub struct Fig8 {
 /// (Only.Little, Only Big.Little, Switching), reporting the D_switch trace, the
 /// relative response-time reduction versus Only.Little, and the switching overhead.
 pub fn figure8(shape: Shape) -> Fig8 {
+    figure8_with(shape, Parallelism::Auto)
+}
+
+/// [`figure8`] with an explicit execution mode (the determinism tests compare
+/// the two paths).  Like [`run_matrix_with`], the whole (mode × sequence) job
+/// matrix goes through one [`parallel_map`] call.
+pub fn figure8_with(shape: Shape, parallelism: Parallelism) -> Fig8 {
     let workload = generate_workload(
         &WorkloadConfig::paper_switching().with_shape(shape.sequences, shape.apps_per_sequence),
     );
     let switching_cfg = SwitchingConfig::default();
 
+    let jobs: Vec<(ClusterMode, usize)> = ClusterMode::all()
+        .into_iter()
+        .flat_map(|mode| (0..workload.sequences.len()).map(move |seq| (mode, seq)))
+        .collect();
+    let mode_reports = parallel_map(parallelism, &jobs, |&(mode, seq)| {
+        run_cluster_sequence(mode, &workload, &workload.sequences[seq], switching_cfg)
+    });
     let mut reports: BTreeMap<String, Vec<RunReport>> = BTreeMap::new();
-    for mode in ClusterMode::all() {
-        let mode_reports: Vec<RunReport> = workload
-            .sequences
-            .iter()
-            .map(|sequence| run_cluster_sequence(mode, &workload, sequence, switching_cfg))
-            .collect();
-        reports.insert(mode.label().to_string(), mode_reports);
+    for (&(mode, _), report) in jobs.iter().zip(mode_reports) {
+        reports
+            .entry(mode.label().to_string())
+            .or_default()
+            .push(report);
     }
 
     let mean_response_ms: BTreeMap<String, f64> = reports
@@ -456,9 +511,7 @@ pub fn format_figure8(fig: &Fig8) -> String {
         let label = mode.label();
         out.push_str(&format!(
             "{:<18} {:>10.2}x   (mean response {:.0} ms)\n",
-            label,
-            fig.relative_to_only_little[label],
-            fig.mean_response_ms[label]
+            label, fig.relative_to_only_little[label], fig.mean_response_ms[label]
         ));
     }
     out.push_str(&format!(
@@ -477,6 +530,57 @@ pub fn format_figure8(fig: &Fig8) -> String {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path throughput
+// ---------------------------------------------------------------------------
+
+/// Wall-clock throughput of the scheduler hot path (see [`hot_path_throughput`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotPathStats {
+    /// Total simulated events processed.
+    pub simulated_events: u64,
+    /// Wall-clock time of the run, in seconds.
+    pub wall_seconds: f64,
+    /// Simulated events per wall-clock second — the metric successive PRs track
+    /// in `BENCH_hotpath.json`.
+    pub events_per_sec: f64,
+}
+
+/// Runs one stress-congestion sequence through the VersaSlot Big.Little system on
+/// a single thread and reports simulated events per wall-clock second.
+///
+/// Single-threaded on purpose: the number measures the per-event scheduling
+/// pass (the indexed engine queries plus the policy), not the harness fan-out.
+pub fn hot_path_throughput() -> HotPathStats {
+    hot_path_run(&hot_path_workload())
+}
+
+/// The one-sequence stress workload the hot-path numbers are measured on.
+///
+/// Generated once and reused by the Criterion bench so its timing loop covers
+/// only [`hot_path_run`], not workload generation.
+pub fn hot_path_workload() -> Workload {
+    generate_workload(&WorkloadConfig::paper_default(Congestion::Stress).with_shape(1, 60))
+}
+
+/// Runs the first sequence of `workload` through the VersaSlot Big.Little
+/// system on a single thread and reports simulated events per wall-clock
+/// second.
+pub fn hot_path_run(workload: &Workload) -> HotPathStats {
+    let start = Instant::now();
+    let report = run_sequence(
+        SchedulerKind::VersaSlotBigLittle,
+        workload,
+        &workload.sequences[0],
+    );
+    let wall_seconds = start.elapsed().as_secs_f64();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
 }
 
 #[cfg(test)]
@@ -530,5 +634,57 @@ mod tests {
         assert!(fig.relative_to_only_little["Only Big.Little"] >= 0.8);
         assert!(!fig.dswitch_trace.is_empty());
         assert!(!format_figure8(&fig).is_empty());
+    }
+
+    /// Determinism is sacred: a fixed seed must produce a byte-identical report
+    /// set regardless of how the harness schedules the jobs.
+    #[test]
+    fn matrix_is_byte_identical_between_sequential_and_parallel_runs() {
+        let shape = Shape::quick();
+        let sequential = run_matrix_with(Congestion::Standard, shape, Parallelism::Sequential);
+        let parallel = run_matrix_with(Congestion::Standard, shape, Parallelism::Threads(4));
+        let auto = run_matrix_with(Congestion::Standard, shape, Parallelism::Auto);
+        let serialize =
+            |m: &BTreeMap<String, Vec<RunReport>>| serde_json::to_string(m).expect("serialises");
+        assert_eq!(serialize(&sequential), serialize(&parallel));
+        assert_eq!(serialize(&sequential), serialize(&auto));
+    }
+
+    #[test]
+    fn same_seed_reproduces_an_identical_matrix_across_runs() {
+        let shape = Shape::quick();
+        let first = run_matrix_with(Congestion::Stress, shape, Parallelism::Threads(3));
+        let second = run_matrix_with(Congestion::Stress, shape, Parallelism::Threads(3));
+        assert_eq!(
+            serde_json::to_string(&first).expect("serialises"),
+            serde_json::to_string(&second).expect("serialises")
+        );
+    }
+
+    #[test]
+    fn figure8_is_byte_identical_between_sequential_and_parallel_runs() {
+        let shape = Shape {
+            sequences: 2,
+            apps_per_sequence: 16,
+        };
+        let sequential = figure8_with(shape, Parallelism::Sequential);
+        let parallel = figure8_with(shape, Parallelism::Threads(4));
+        assert_eq!(
+            serde_json::to_string(&sequential).expect("serialises"),
+            serde_json::to_string(&parallel).expect("serialises")
+        );
+    }
+
+    #[test]
+    fn hot_path_throughput_reports_consistent_numbers() {
+        let stats = hot_path_throughput();
+        assert!(stats.simulated_events > 0);
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.events_per_sec > 0.0);
+        // Two runs simulate the identical event stream (only wall-clock varies).
+        assert_eq!(
+            stats.simulated_events,
+            hot_path_throughput().simulated_events
+        );
     }
 }

@@ -25,6 +25,49 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use versaslot_workload::AppId;
 
+/// The per-application input table of one [`allocate`] pass.
+///
+/// A sorted vector with binary-search lookup, reused across passes by the
+/// VersaSlot policy so the per-event scheduling pass performs no allocation in
+/// steady state (a `BTreeMap` would churn nodes every pass).
+#[derive(Debug, Clone, Default)]
+pub struct AllocInputs {
+    entries: Vec<(AppId, AppAllocInfo)>,
+}
+
+impl AllocInputs {
+    /// Creates an empty input table.
+    pub fn new() -> Self {
+        AllocInputs::default()
+    }
+
+    /// Clears the table, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Inserts (or replaces) the info of `app`.
+    pub fn insert(&mut self, app: AppId, info: AppAllocInfo) {
+        match self.entries.binary_search_by_key(&app, |(id, _)| *id) {
+            Ok(pos) => self.entries[pos].1 = info,
+            Err(pos) => self.entries.insert(pos, (app, info)),
+        }
+    }
+
+    /// Looks up the info of `app`.
+    pub fn get(&self, app: AppId) -> Option<&AppAllocInfo> {
+        self.entries
+            .binary_search_by_key(&app, |(id, _)| *id)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// Whether `app` is present.
+    pub fn contains(&self, app: AppId) -> bool {
+        self.get(app).is_some()
+    }
+}
+
 /// Per-application inputs to Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AppAllocInfo {
@@ -108,59 +151,54 @@ impl AllocationState {
 /// * `info` — per-application inputs; applications missing from `info` are treated
 ///   as completed and dropped from the state.
 ///
-/// Returns the updated allocations for every bound application.
+/// Updates `state.allocations` in place; callers read the result through
+/// [`AllocationState::allocation`].  The pass performs no allocation beyond
+/// occasional growth of the state's own vectors.
 pub fn allocate(
     state: &mut AllocationState,
     big_total: u32,
     little_total: u32,
     big_free: u32,
     little_free: u32,
-    info: &BTreeMap<AppId, AppAllocInfo>,
-) -> BTreeMap<AppId, Allocation> {
-    // Drop completed applications.
-    let stale: Vec<AppId> = state
-        .bound_big
-        .iter()
-        .chain(state.bound_little.iter())
-        .chain(state.waiting.iter())
-        .filter(|a| !info.contains_key(a) || info[a].unfinished_tasks == 0)
-        .copied()
-        .collect();
-    for app in stale {
-        state.remove(app);
-    }
+    info: &AllocInputs,
+) {
+    // Drop completed applications (absent from `info` or out of work).
+    let live = |a: &AppId| info.get(*a).is_some_and(|i| i.unfinished_tasks > 0);
+    state.bound_big.retain(live);
+    state.bound_little.retain(live);
+    state.waiting.retain(live);
+    state.allocations.retain(|a, _| live(a));
 
     // Line 1: Big slots still available for binding new applications (slots already
     // promised to bound applications with remaining work are not available).
     let bound_big_active: u32 = state
         .bound_big
         .iter()
-        .filter(|a| info.get(a).map(|i| i.unfinished_tasks > 0).unwrap_or(false))
         .map(|a| state.allocation(*a).big.max(1))
         .sum();
     let mut big_avail = big_total.saturating_sub(bound_big_active).min(big_free);
 
     // Line 2-3: nothing to hand out.
     if big_avail == 0 && little_free == 0 {
-        return state.allocations.clone();
+        return;
     }
 
     // Lines 4-6: rebinding — unbind not-yet-started Little-bound apps when a Big
-    // slot could take them, returning them to the waiting list.
+    // slot could take them, returning them to the waiting list.  Rebound apps go
+    // to the front of the waiting list: they were admitted before the apps
+    // currently waiting.
     if big_avail > 0 {
-        let mut rebound = Vec::new();
-        for app in &state.bound_little {
-            let app_info = &info[app];
+        let mut i = 0;
+        while i < state.bound_little.len() {
+            let app = state.bound_little[i];
+            let app_info = info.get(app).expect("bound application has info");
             if !app_info.started && app_info.can_bundle {
-                rebound.push(*app);
+                state.bound_little.remove(i);
+                state.allocations.remove(&app);
+                state.waiting.insert(0, app);
+            } else {
+                i += 1;
             }
-        }
-        for app in rebound {
-            state.bound_little.retain(|a| *a != app);
-            state.allocations.remove(&app);
-            // Rebound apps go to the front of the waiting list: they were admitted
-            // before the apps currently waiting.
-            state.waiting.insert(0, app);
         }
     }
 
@@ -169,21 +207,23 @@ pub fn allocate(
         .bound_little
         .iter()
         .map(|a| {
-            let app_info = &info[a];
+            let app_info = info.get(*a).expect("bound application has info");
             state.allocation(*a).little.min(app_info.unfinished_tasks)
         })
         .sum();
     let mut little_left = little_total.saturating_sub(promised);
 
-    // Lines 7-13: primary allocation for waiting applications, in order.
-    let waiting_snapshot: Vec<AppId> = state.waiting.clone();
-    for app in waiting_snapshot {
-        let app_info = &info[&app];
+    // Lines 7-13: primary allocation for waiting applications, in order.  Bound
+    // applications leave the waiting list; the rest keep their position.
+    let mut i = 0;
+    while i < state.waiting.len() {
+        let app = state.waiting[i];
+        let app_info = *info.get(app).expect("waiting application has info");
         if big_avail > 0 && app_info.can_bundle {
             // Lines 8-10: bind to Big slots, up to the application's optimal count
             // `O_B` and the slots still available.
             let grant = app_info.optimal_big.max(1).min(big_avail);
-            state.waiting.retain(|a| *a != app);
+            state.waiting.remove(i);
             state.bound_big.push(app);
             state.allocations.insert(
                 app,
@@ -202,21 +242,30 @@ pub fn allocate(
                 .max(1)
                 .min(app_info.unfinished_tasks)
                 .min(little_left);
-            state.waiting.retain(|a| *a != app);
+            state.waiting.remove(i);
             state.bound_little.push(app);
-            state.allocations.insert(app, Allocation { big: 0, little: grant });
+            state.allocations.insert(
+                app,
+                Allocation {
+                    big: 0,
+                    little: grant,
+                },
+            );
             little_left -= grant;
+            continue;
         }
+        i += 1;
     }
 
-    // Lines 14-18: redistribute leftover Little slots to bound applications.
+    // Lines 14-18: redistribute leftover Little slots to bound applications
+    // (front of the runnable queue first).
     if little_left > 0 {
-        let bound_snapshot: Vec<AppId> = state.bound_little.clone();
-        for app in bound_snapshot {
+        for i in 0..state.bound_little.len() {
             if little_left == 0 {
                 break;
             }
-            let app_info = &info[&app];
+            let app = state.bound_little[i];
+            let app_info = info.get(app).expect("bound application has info");
             let current = state.allocation(app);
             let max_useful = app_info.unfinished_tasks;
             if current.little >= max_useful {
@@ -233,8 +282,6 @@ pub fn allocate(
             little_left -= extra;
         }
     }
-
-    state.allocations.clone()
 }
 
 #[cfg(test)]
@@ -261,13 +308,13 @@ mod tests {
         let mut state = AllocationState::new();
         state.add_waiting(AppId(0));
         state.add_waiting(AppId(1));
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(true, 6, 3, false));
         apps.insert(AppId(1), info(true, 3, 2, false));
 
-        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
-        assert_eq!(result[&AppId(0)], Allocation { big: 1, little: 0 });
-        assert_eq!(result[&AppId(1)], Allocation { big: 1, little: 0 });
+        allocate(&mut state, bt, lt, bt, lt, &apps);
+        assert_eq!(state.allocation(AppId(0)), Allocation { big: 1, little: 0 });
+        assert_eq!(state.allocation(AppId(1)), Allocation { big: 1, little: 0 });
         assert!(state.is_bound_big(AppId(0)));
         assert!(state.is_bound_big(AppId(1)));
         assert!(state.waiting.is_empty());
@@ -277,20 +324,18 @@ mod tests {
     fn overflow_apps_fall_back_to_little_slots() {
         let (bt, lt) = big_little_totals();
         let mut state = AllocationState::new();
+        let mut apps = AllocInputs::new();
         for i in 0..3 {
             state.add_waiting(AppId(i));
+            apps.insert(AppId(i), info(true, 6, 3, false));
         }
-        let mut apps = BTreeMap::new();
-        apps.insert(AppId(0), info(true, 6, 3, false));
-        apps.insert(AppId(1), info(true, 6, 3, false));
-        apps.insert(AppId(2), info(true, 6, 3, false));
 
-        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
+        allocate(&mut state, bt, lt, bt, lt, &apps);
         // Only two Big slots exist: the third app gets Little slots instead — its
         // optimal 3 from the primary allocation plus the one leftover Little slot
         // from redistribution.
-        assert_eq!(result[&AppId(2)].big, 0);
-        assert_eq!(result[&AppId(2)].little, 4);
+        assert_eq!(state.allocation(AppId(2)).big, 0);
+        assert_eq!(state.allocation(AppId(2)).little, 4);
         assert!(state.is_bound_little(AppId(2)));
     }
 
@@ -300,11 +345,11 @@ mod tests {
         // 6 unfinished tasks — redistribution tops it up to 6.
         let mut state = AllocationState::new();
         state.add_waiting(AppId(0));
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(true, 6, 3, false));
 
-        let result = allocate(&mut state, 0, 8, 0, 8, &apps);
-        assert_eq!(result[&AppId(0)], Allocation { big: 0, little: 6 });
+        allocate(&mut state, 0, 8, 0, 8, &apps);
+        assert_eq!(state.allocation(AppId(0)), Allocation { big: 0, little: 6 });
     }
 
     #[test]
@@ -312,15 +357,15 @@ mod tests {
         let mut state = AllocationState::new();
         state.add_waiting(AppId(0));
         state.add_waiting(AppId(1));
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(false, 6, 2, false));
         apps.insert(AppId(1), info(false, 6, 2, false));
 
-        let result = allocate(&mut state, 0, 8, 0, 8, &apps);
+        allocate(&mut state, 0, 8, 0, 8, &apps);
         // Primary: 2 + 2 slots; redistribution hands the remaining 4 to the front
         // app first (up to its 6 tasks), then the second app.
-        assert_eq!(result[&AppId(0)].little, 6);
-        assert_eq!(result[&AppId(1)].little, 2);
+        assert_eq!(state.allocation(AppId(0)).little, 6);
+        assert_eq!(state.allocation(AppId(1)).little, 2);
     }
 
     #[test]
@@ -332,13 +377,13 @@ mod tests {
         state
             .allocations
             .insert(AppId(0), Allocation { big: 0, little: 3 });
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(true, 6, 3, false));
 
-        let result = allocate(&mut state, bt, lt, bt, lt, &apps);
+        allocate(&mut state, bt, lt, bt, lt, &apps);
         assert!(state.is_bound_big(AppId(0)));
         assert!(!state.is_bound_little(AppId(0)));
-        assert_eq!(result[&AppId(0)], Allocation { big: 1, little: 0 });
+        assert_eq!(state.allocation(AppId(0)), Allocation { big: 1, little: 0 });
     }
 
     #[test]
@@ -349,7 +394,7 @@ mod tests {
         state
             .allocations
             .insert(AppId(0), Allocation { big: 0, little: 3 });
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(true, 6, 3, true));
 
         allocate(&mut state, bt, lt, bt, lt, &apps);
@@ -364,10 +409,10 @@ mod tests {
         state
             .allocations
             .insert(AppId(0), Allocation { big: 1, little: 0 });
-        // App 0 no longer appears in the info map (completed).
-        let apps = BTreeMap::new();
-        let result = allocate(&mut state, 2, 4, 2, 4, &apps);
-        assert!(result.is_empty());
+        // App 0 no longer appears in the info table (completed).
+        let apps = AllocInputs::new();
+        allocate(&mut state, 2, 4, 2, 4, &apps);
+        assert!(state.allocations.is_empty());
         assert!(state.bound_big.is_empty());
     }
 
@@ -375,10 +420,10 @@ mod tests {
     fn no_free_slots_is_a_no_op() {
         let mut state = AllocationState::new();
         state.add_waiting(AppId(0));
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         apps.insert(AppId(0), info(true, 6, 3, false));
-        let result = allocate(&mut state, 2, 4, 0, 0, &apps);
-        assert!(result.is_empty());
+        allocate(&mut state, 2, 4, 0, 0, &apps);
+        assert!(state.allocations.is_empty());
         assert_eq!(state.waiting, vec![AppId(0)]);
     }
 
@@ -386,15 +431,18 @@ mod tests {
     fn allocation_never_exceeds_totals() {
         // Property-style check over a crowded system.
         let mut state = AllocationState::new();
-        let mut apps = BTreeMap::new();
+        let mut apps = AllocInputs::new();
         for i in 0..10 {
             state.add_waiting(AppId(i));
             apps.insert(AppId(i), info(i % 2 == 0, 6, 3, false));
         }
-        let result = allocate(&mut state, 2, 4, 2, 4, &apps);
-        let total_big: u32 = result.values().map(|a| a.big).sum();
-        let total_little: u32 = result.values().map(|a| a.little).sum();
+        allocate(&mut state, 2, 4, 2, 4, &apps);
+        let total_big: u32 = state.allocations.values().map(|a| a.big).sum();
+        let total_little: u32 = state.allocations.values().map(|a| a.little).sum();
         assert!(total_big <= 2, "allocated {total_big} big slots out of 2");
-        assert!(total_little <= 4, "allocated {total_little} little slots out of 4");
+        assert!(
+            total_little <= 4,
+            "allocated {total_little} little slots out of 4"
+        );
     }
 }

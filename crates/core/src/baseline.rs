@@ -25,11 +25,7 @@ pub const BASELINE_NAME: &str = "baseline-temporal";
 /// Computes the time one application occupies the whole FPGA: full reconfiguration
 /// (cold SD read plus PCAP load of the full-fabric bitstream) followed by the
 /// pipelined batch execution with every task resident.
-pub fn baseline_service_time(
-    board: &BoardSpec,
-    spec: &ApplicationSpec,
-    batch: u32,
-) -> SimDuration {
+pub fn baseline_service_time(board: &BoardSpec, spec: &ApplicationSpec, batch: u32) -> SimDuration {
     let full = board.bitstream_sizes.size_of(BitstreamKind::Full);
     let reconfig = board.sd_card.read_duration(full) + board.pcap.load_duration(full);
     let stage_times: Vec<SimDuration> = spec
@@ -99,6 +95,8 @@ pub fn run_baseline(
         blocked_events: 0,
         blocked_tasks: 0,
         switches: 0,
+        // The analytic baseline serves one request per application.
+        events_processed: apps.len() as u64,
         makespan,
         mean_slot_occupancy: occupancy.time_weighted_mean(makespan),
         mean_lut_utilization: lut_util.time_weighted_mean(makespan),
@@ -124,8 +122,7 @@ mod tests {
         let spec = BenchmarkApp::LeNet.spec();
         let service = baseline_service_time(&board(), &spec, 10);
         let full = board().bitstream_sizes.full;
-        let reconfig =
-            board().sd_card.read_duration(full) + board().pcap.load_duration(full);
+        let reconfig = board().sd_card.read_duration(full) + board().pcap.load_duration(full);
         assert!(service > reconfig);
         // And it is far larger than a single partial reconfiguration would be.
         assert!(reconfig.as_millis_f64() > 500.0);
@@ -169,8 +166,7 @@ mod tests {
             })
             .collect();
         let report = run_baseline(&board(), &BenchmarkApp::suite(), &arrivals);
-        let service =
-            baseline_service_time(&board(), &BenchmarkApp::Rendering3D.spec(), 10);
+        let service = baseline_service_time(&board(), &BenchmarkApp::Rendering3D.spec(), 10);
         for app in &report.apps {
             assert_eq!(app.response(), service);
         }

@@ -90,6 +90,11 @@ pub struct AppRuntime {
     pub used_big: bool,
     /// Completion time, once finished.
     pub completion: Option<SimTime>,
+    /// Big slots currently occupied (reconfiguring or loaded), maintained
+    /// incrementally by the engine so occupancy queries are O(1).
+    pub in_use_big: u32,
+    /// Little slots currently occupied, maintained like `in_use_big`.
+    pub in_use_little: u32,
 }
 
 impl AppRuntime {
@@ -108,6 +113,8 @@ impl AppRuntime {
             pr_count: 0,
             used_big: false,
             completion: None,
+            in_use_big: 0,
+            in_use_little: 0,
         };
         app.rebuild_units(spec, ExecMode::Little, dma_per_item);
         app
@@ -232,7 +239,12 @@ mod tests {
     use versaslot_workload::benchmarks::BenchmarkApp;
 
     fn arrival(batch: u32) -> AppArrival {
-        AppArrival::new(AppId(0), BenchmarkApp::LeNet.suite_index(), batch, SimTime::ZERO)
+        AppArrival::new(
+            AppId(0),
+            BenchmarkApp::LeNet.suite_index(),
+            batch,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -251,7 +263,12 @@ mod tests {
     fn big_mode_has_one_unit_per_bundle() {
         let spec = BenchmarkApp::OpticalFlow.spec();
         let mut app = AppRuntime::new(
-            &AppArrival::new(AppId(1), BenchmarkApp::OpticalFlow.suite_index(), 20, SimTime::ZERO),
+            &AppArrival::new(
+                AppId(1),
+                BenchmarkApp::OpticalFlow.suite_index(),
+                20,
+                SimTime::ZERO,
+            ),
             &spec,
             SimDuration::ZERO,
         );
@@ -265,7 +282,12 @@ mod tests {
     fn parallel_bundle_first_item_includes_fill() {
         let spec = BenchmarkApp::ImageCompression.spec();
         let mut app = AppRuntime::new(
-            &AppArrival::new(AppId(1), BenchmarkApp::ImageCompression.suite_index(), 25, SimTime::ZERO),
+            &AppArrival::new(
+                AppId(1),
+                BenchmarkApp::ImageCompression.suite_index(),
+                25,
+                SimTime::ZERO,
+            ),
             &spec,
             SimDuration::ZERO,
         );

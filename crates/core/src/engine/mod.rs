@@ -20,6 +20,40 @@
 //!
 //! The *policy* (which application gets which slot, and when) is pluggable — see
 //! [`crate::policy`].
+//!
+//! # Incremental slot and application indexes
+//!
+//! The scheduling hot path is O(1)-indexed and allocation-free.  The simulator
+//! maintains, incrementally:
+//!
+//! * **Slot bitmasks** ([`SlotIndex`], one bit per slot, at most [`MAX_SLOTS`]
+//!   slots per run): `free`, `enabled`, `loaded_idle`, the static per-kind masks
+//!   and the static per-board masks.  Every policy-facing query
+//!   ([`SharingSimulator::free_slot_count`],
+//!   [`SharingSimulator::enabled_slot_total`],
+//!   [`SharingSimulator::first_grantable_slot`],
+//!   [`SharingSimulator::grantable_slots`]) is a popcount or trailing-zeros over
+//!   an AND of these masks.
+//! * **Per-application occupancy counters** (`in_use_big` / `in_use_little` on
+//!   [`AppRuntime`]), so [`SharingSimulator::slots_in_use_by`] is a field read.
+//! * **The active-application set** (arrived, not yet completed), kept sorted by
+//!   identifier, borrowed via [`SharingSimulator::active_apps`].
+//!
+//! The indexes are updated at exactly five points, all in this module:
+//!
+//! | transition | maintenance |
+//! |---|---|
+//! | [`SharingSimulator::grant_slot`] | clear `free`, bump occupancy counter |
+//! | [`SharingSimulator::release_slot`] | set `free`, clear `loaded_idle`, drop counter |
+//! | PR completion | set `loaded_idle` |
+//! | item completion | `loaded_idle` (unit continues) or `free` + drop counter (unit done); active set on app completion |
+//! | switch trigger / completion | clear / set the board's `enabled` bits |
+//!
+//! plus arrival (active-set insert) and launch (`loaded_idle` clear).
+//! [`SharingSimulator::verify_indexes`] recomputes everything naively from
+//! [`SharingSimulator::slots`] and panics on any divergence; debug builds run it
+//! after every event, and the property tests drive it explicitly via
+//! [`SharingSimulator::step`].
 
 pub mod app;
 pub mod slot;
@@ -47,6 +81,9 @@ pub use slot::{ExecUnit, SlotRuntime, SlotState};
 /// workload needs well under a million).
 const MAX_EVENTS: u64 = 50_000_000;
 
+/// Maximum number of slots per run (bound of the `u64` slot bitmasks).
+pub const MAX_SLOTS: usize = 64;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(AppId),
@@ -63,6 +100,62 @@ struct BoardCores {
     pr: CpuCore,
 }
 
+/// Maps a slot kind to its bit in [`SlotIndex::kind`].
+fn kind_bit(kind: SlotKind) -> usize {
+    match kind {
+        SlotKind::Big => 0,
+        SlotKind::Little => 1,
+    }
+}
+
+/// Incrementally maintained slot bitmasks (bit *i* ↔ slot index *i*).
+#[derive(Debug, Clone)]
+struct SlotIndex {
+    /// Slots in [`SlotState::Free`].
+    free: u64,
+    /// Slots accepting new grants.
+    enabled: u64,
+    /// Slots in [`SlotState::Loaded`] with `busy == false`.
+    loaded_idle: u64,
+    /// Static: slots of each [`SlotKind`] (indexed by [`kind_bit`]).
+    kind: [u64; 2],
+    /// Static: slots of each board.
+    board: Vec<u64>,
+}
+
+impl SlotIndex {
+    fn bit(idx: usize) -> u64 {
+        1u64 << idx
+    }
+}
+
+/// Non-allocating iterator over slot indices, ascending (see
+/// [`SharingSimulator::grantable_slots`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotIndexIter {
+    mask: u64,
+}
+
+impl Iterator for SlotIndexIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.mask == 0 {
+            return None;
+        }
+        let idx = self.mask.trailing_zeros() as usize;
+        self.mask &= self.mask - 1;
+        Some(idx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SlotIndexIter {}
+
 /// Discrete-event simulator of fine-grained FPGA sharing on one or two boards.
 #[derive(Debug)]
 pub struct SharingSimulator {
@@ -73,6 +166,9 @@ pub struct SharingSimulator {
     events: EventQueue<Event>,
     apps: BTreeMap<AppId, AppRuntime>,
     slots: Vec<SlotRuntime>,
+    index: SlotIndex,
+    /// Arrived, not-yet-completed applications, sorted by identifier.
+    active: Vec<AppId>,
     cores: Vec<BoardCores>,
     /// One serial PR path (SD read + PCAP load) per board.
     pr_paths: Vec<SerialServer>,
@@ -85,6 +181,7 @@ pub struct SharingSimulator {
     switches: u64,
     window_blocked: u64,
     candidate_updates: u32,
+    events_processed: u64,
 
     occupancy: TimeWeightedSeries,
     lut_util: TimeWeightedSeries,
@@ -94,6 +191,9 @@ pub struct SharingSimulator {
     switch_loop: Option<SwitchLoop>,
     dswitch_trace: Vec<DswitchSample>,
     migrations: Vec<MigrationRecord>,
+
+    /// Reusable buffer for the launch sweep (no steady-state allocation).
+    sweep_scratch: Vec<AppId>,
 }
 
 impl SharingSimulator {
@@ -102,7 +202,8 @@ impl SharingSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if `config.boards` is empty or an arrival references an application
+    /// Panics if `config.boards` is empty, the boards have more than
+    /// [`MAX_SLOTS`] slots in total, or an arrival references an application
     /// outside the suite.
     pub fn new(config: SystemConfig, suite: Vec<ApplicationSpec>, arrivals: &[AppArrival]) -> Self {
         assert!(!config.boards.is_empty(), "at least one board is required");
@@ -117,12 +218,32 @@ impl SharingSimulator {
 
         let mut slots = Vec::new();
         let mut cores = Vec::new();
+        let mut index = SlotIndex {
+            free: 0,
+            enabled: 0,
+            loaded_idle: 0,
+            kind: [0; 2],
+            board: vec![0; config.boards.len()],
+        };
         for (board_idx, board) in config.boards.iter().enumerate() {
             for descriptor in board.layout.slots() {
+                let slot_idx = slots.len();
+                assert!(
+                    slot_idx < MAX_SLOTS,
+                    "at most {MAX_SLOTS} slots are supported per run"
+                );
+                let enabled = board_idx == 0;
+                let bit = SlotIndex::bit(slot_idx);
+                index.free |= bit;
+                if enabled {
+                    index.enabled |= bit;
+                }
+                index.kind[kind_bit(descriptor.kind)] |= bit;
+                index.board[board_idx] |= bit;
                 slots.push(SlotRuntime {
                     descriptor: *descriptor,
                     board: BoardId(board_idx as u32),
-                    enabled: board_idx == 0,
+                    enabled,
                     state: SlotState::Free,
                 });
             }
@@ -141,9 +262,9 @@ impl SharingSimulator {
             pending_arrivals.insert(arrival.id, *arrival);
         }
 
-        let switch_loop = config.switching.map(|cfg| {
-            SwitchLoop::new(cfg.thresholds, config.boards[0].layout.kind())
-        });
+        let switch_loop = config
+            .switching
+            .map(|cfg| SwitchLoop::new(cfg.thresholds, config.boards[0].layout.kind()));
 
         let trace = if config.record_trace {
             Trace::recording()
@@ -159,6 +280,8 @@ impl SharingSimulator {
             events,
             apps: BTreeMap::new(),
             slots,
+            index,
+            active: Vec::new(),
             cores,
             pr_paths,
             active_board: 0,
@@ -169,6 +292,7 @@ impl SharingSimulator {
             switches: 0,
             window_blocked: 0,
             candidate_updates: 0,
+            events_processed: 0,
             occupancy: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
             lut_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
             ff_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
@@ -176,6 +300,7 @@ impl SharingSimulator {
             switch_loop,
             dswitch_trace: Vec::new(),
             migrations: Vec::new(),
+            sweep_scratch: Vec::new(),
         }
     }
 
@@ -188,14 +313,19 @@ impl SharingSimulator {
         self.now
     }
 
+    /// Applications that have arrived and are not yet completed, in identifier
+    /// order.  Borrowed from the incrementally maintained active set — policies
+    /// copy it into a reusable scratch buffer before granting.
+    pub fn active_apps(&self) -> &[AppId] {
+        &self.active
+    }
+
     /// Identifiers of applications that have arrived and are not yet completed,
     /// in arrival (identifier) order.
+    ///
+    /// Allocating convenience wrapper around [`Self::active_apps`].
     pub fn active_app_ids(&self) -> Vec<AppId> {
-        self.apps
-            .values()
-            .filter(|a| a.state != AppState::Completed)
-            .map(|a| a.id)
-            .collect()
+        self.active.clone()
     }
 
     /// Runtime state of an application.
@@ -219,53 +349,90 @@ impl SharingSimulator {
 
     /// Number of enabled slots of `kind` (the totals Algorithm 1 works with).
     pub fn enabled_slot_total(&self, kind: SlotKind) -> u32 {
-        self.slots
-            .iter()
-            .filter(|s| s.enabled && s.descriptor.kind == kind)
-            .count() as u32
+        (self.index.enabled & self.index.kind[kind_bit(kind)]).count_ones()
     }
 
     /// Number of enabled, free slots of `kind`.
     pub fn free_slot_count(&self, kind: SlotKind) -> u32 {
-        self.slots
-            .iter()
-            .filter(|s| s.enabled && s.is_free() && s.descriptor.kind == kind)
-            .count() as u32
+        (self.index.free & self.index.enabled & self.index.kind[kind_bit(kind)]).count_ones()
     }
 
-    /// Indices of slots that could be granted to `app` right now: free slots on an
-    /// enabled board, plus free slots on the application's home board (so pipelines
-    /// in flight when a cross-board switch happens can drain).  Restricted to
-    /// `kind` when given.
+    /// Bitmask of slots that could be granted to `app` right now: free slots on
+    /// an enabled board, plus free slots on the application's home board (so
+    /// pipelines in flight when a cross-board switch happens can drain).
+    /// Restricted to `kind` when given.
+    fn grantable_mask(&self, app: AppId, kind: Option<SlotKind>) -> u64 {
+        let runtime = &self.apps[&app];
+        let mut visible = self.index.enabled;
+        if runtime.started {
+            if let Some(home) = runtime.home_board {
+                visible |= self.index.board[home];
+            }
+        }
+        let mut mask = self.index.free & visible;
+        if let Some(kind) = kind {
+            mask &= self.index.kind[kind_bit(kind)];
+        }
+        mask
+    }
+
+    /// Iterates the indices of slots grantable to `app` in ascending order,
+    /// without allocating.
+    pub fn grantable_slots(&self, app: AppId, kind: Option<SlotKind>) -> SlotIndexIter {
+        SlotIndexIter {
+            mask: self.grantable_mask(app, kind),
+        }
+    }
+
+    /// The lowest-indexed slot grantable to `app`, if any — the slot the
+    /// first-fit policies pick, in O(1).
+    pub fn first_grantable_slot(&self, app: AppId, kind: Option<SlotKind>) -> Option<usize> {
+        let mask = self.grantable_mask(app, kind);
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// Whether any slot is grantable to `app`, in O(1).
+    pub fn has_grantable_slot(&self, app: AppId, kind: Option<SlotKind>) -> bool {
+        self.grantable_mask(app, kind) != 0
+    }
+
+    /// Appends the indices of slots grantable to `app` to `scratch` (ascending,
+    /// caller-owned buffer; no allocation once the buffer has grown).
+    pub fn grantable_slots_into(
+        &self,
+        app: AppId,
+        kind: Option<SlotKind>,
+        scratch: &mut Vec<usize>,
+    ) {
+        scratch.extend(self.grantable_slots(app, kind));
+    }
+
+    /// Indices of slots that could be granted to `app` right now.
+    ///
+    /// Allocating convenience wrapper around [`Self::grantable_slots`], kept for
+    /// tests and external callers; the policies use the iterator /
+    /// [`Self::first_grantable_slot`] forms.
     pub fn grantable_slot_indices(&self, app: AppId, kind: Option<SlotKind>) -> Vec<usize> {
-        let app = &self.apps[&app];
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_free())
-            .filter(|(_, s)| kind.is_none_or(|k| s.descriptor.kind == k))
-            .filter(|(_, s)| {
-                s.enabled
-                    || (app.started && app.home_board == Some(s.board.0 as usize))
-            })
-            .map(|(i, _)| i)
-            .collect()
+        self.grantable_slots(app, kind).collect()
+    }
+
+    /// Iterates the indices of loaded, idle slots of `kind` (the preemption
+    /// candidates) in ascending order, without allocating.
+    pub fn loaded_idle_slots(&self, kind: SlotKind) -> SlotIndexIter {
+        SlotIndexIter {
+            mask: self.index.loaded_idle & self.index.kind[kind_bit(kind)],
+        }
     }
 
     /// Number of (Big, Little) slots currently occupied by `app` (loading or
-    /// loaded).
+    /// loaded) — an O(1) counter read.
     pub fn slots_in_use_by(&self, app: AppId) -> (u32, u32) {
-        let mut big = 0;
-        let mut little = 0;
-        for slot in &self.slots {
-            if slot.occupant() == Some(app) {
-                match slot.descriptor.kind {
-                    SlotKind::Big => big += 1,
-                    SlotKind::Little => little += 1,
-                }
-            }
-        }
-        (big, little)
+        let runtime = &self.apps[&app];
+        (runtime.in_use_big, runtime.in_use_little)
     }
 
     /// Whether the application's specification has 3-in-1 bundles.
@@ -291,6 +458,119 @@ impl SharingSimulator {
     /// The event trace (counters always; bodies only when tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ------------------------------------------------------------------
+    // Index maintenance
+    // ------------------------------------------------------------------
+
+    fn index_slot_granted(&mut self, slot_idx: usize, app_id: AppId, slot_kind: SlotKind) {
+        self.index.free &= !SlotIndex::bit(slot_idx);
+        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        match slot_kind {
+            SlotKind::Big => app.in_use_big += 1,
+            SlotKind::Little => app.in_use_little += 1,
+        }
+    }
+
+    fn index_slot_freed(&mut self, slot_idx: usize, app_id: AppId, slot_kind: SlotKind) {
+        let bit = SlotIndex::bit(slot_idx);
+        self.index.free |= bit;
+        self.index.loaded_idle &= !bit;
+        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        match slot_kind {
+            SlotKind::Big => app.in_use_big -= 1,
+            SlotKind::Little => app.in_use_little -= 1,
+        }
+    }
+
+    fn index_slot_loaded_idle(&mut self, slot_idx: usize) {
+        self.index.loaded_idle |= SlotIndex::bit(slot_idx);
+    }
+
+    fn index_slot_busy(&mut self, slot_idx: usize) {
+        self.index.loaded_idle &= !SlotIndex::bit(slot_idx);
+    }
+
+    fn index_app_arrived(&mut self, id: AppId) {
+        match self.active.binary_search(&id) {
+            Ok(_) => {}
+            Err(pos) => self.active.insert(pos, id),
+        }
+    }
+
+    fn index_app_completed(&mut self, id: AppId) {
+        if let Ok(pos) = self.active.binary_search(&id) {
+            self.active.remove(pos);
+        }
+    }
+
+    fn index_board_enabled(&mut self, board: usize, enabled: bool) {
+        if enabled {
+            self.index.enabled |= self.index.board[board];
+        } else {
+            self.index.enabled &= !self.index.board[board];
+        }
+    }
+
+    /// Recomputes every incremental index naively from [`Self::slots`] and the
+    /// application table, panicking on any divergence.  Debug builds call this
+    /// after every event; the index-consistency property tests call it through
+    /// [`Self::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when an incremental index disagrees with the naive recount.
+    pub fn verify_indexes(&self) {
+        let mut free = 0u64;
+        let mut enabled = 0u64;
+        let mut loaded_idle = 0u64;
+        let mut in_use: BTreeMap<AppId, (u32, u32)> = BTreeMap::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let bit = SlotIndex::bit(idx);
+            if slot.is_free() {
+                free |= bit;
+            }
+            if slot.enabled {
+                enabled |= bit;
+            }
+            if matches!(slot.state, SlotState::Loaded { busy: false, .. }) {
+                loaded_idle |= bit;
+            }
+            if let Some(app) = slot.occupant() {
+                let entry = in_use.entry(app).or_insert((0, 0));
+                match slot.descriptor.kind {
+                    SlotKind::Big => entry.0 += 1,
+                    SlotKind::Little => entry.1 += 1,
+                }
+            }
+        }
+        assert_eq!(self.index.free, free, "free-slot mask diverged");
+        assert_eq!(self.index.enabled, enabled, "enabled-slot mask diverged");
+        assert_eq!(
+            self.index.loaded_idle, loaded_idle,
+            "loaded-idle mask diverged"
+        );
+        for (id, app) in &self.apps {
+            let (big, little) = in_use.get(id).copied().unwrap_or((0, 0));
+            assert_eq!(
+                (app.in_use_big, app.in_use_little),
+                (big, little),
+                "occupancy counters of {id} diverged"
+            );
+        }
+        let naive_active: Vec<AppId> = self
+            .apps
+            .values()
+            .filter(|a| a.state != AppState::Completed)
+            .map(|a| a.id)
+            .collect();
+        assert_eq!(self.active, naive_active, "active-application set diverged");
     }
 
     // ------------------------------------------------------------------
@@ -326,10 +606,13 @@ impl SharingSimulator {
         };
 
         let dma = self.config.boards[slot_board].dma;
-        let spec = self.suite[self.apps[&app_id].app_index].clone();
 
         let unit_idx = {
+            // Borrow the suite and the application table simultaneously (disjoint
+            // fields) so no per-grant specification clone is needed.
+            let suite = &self.suite;
             let app = self.apps.get_mut(&app_id).expect("unknown application");
+            let spec = &suite[app.app_index];
             if app.state == AppState::Completed {
                 return false;
             }
@@ -350,7 +633,7 @@ impl SharingSimulator {
                         .max()
                         .unwrap_or(0),
                 );
-                app.rebuild_units(&spec, target_mode, dma_per_item);
+                app.rebuild_units(spec, target_mode, dma_per_item);
             }
             match app.next_unit_to_place() {
                 Some(idx) => idx,
@@ -412,8 +695,10 @@ impl SharingSimulator {
             app: app_id,
             unit: unit_idx,
         };
+        self.index_slot_granted(slot_idx, app_id, slot_kind);
         self.total_pr += 1;
-        self.events.push(finish, Event::PrComplete { slot: slot_idx });
+        self.events
+            .push(finish, Event::PrComplete { slot: slot_idx });
         self.trace.log(
             now,
             TraceKind::PrRequested,
@@ -452,7 +737,9 @@ impl SharingSimulator {
             } => (app, unit),
             _ => return false,
         };
+        let slot_kind = self.slots[slot_idx].descriptor.kind;
         self.slots[slot_idx].state = SlotState::Free;
+        self.index_slot_freed(slot_idx, app_id, slot_kind);
         let app = self.apps.get_mut(&app_id).expect("unknown application");
         app.units[unit_idx].slot = None;
         self.trace.log(
@@ -471,6 +758,37 @@ impl SharingSimulator {
     // Simulation loop
     // ------------------------------------------------------------------
 
+    /// Processes the next pending event (followed by one scheduling pass of
+    /// `policy` and a launch sweep) and returns `true`, or returns `false` when
+    /// the event queue is empty.
+    ///
+    /// [`Self::run`] drives this to completion; tests can interleave calls with
+    /// [`Self::verify_indexes`] to check the incremental indexes after every
+    /// event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event bound is exceeded.
+    pub fn step(&mut self, policy: &mut dyn Policy) -> bool {
+        let Some((time, event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event time went backwards");
+        self.now = time;
+        self.handle_event(event);
+        policy.schedule(self);
+        self.launch_sweep();
+        self.events_processed += 1;
+        assert!(
+            self.events_processed < MAX_EVENTS,
+            "simulation exceeded {MAX_EVENTS} events — livelock in policy `{}`?",
+            policy.name()
+        );
+        #[cfg(debug_assertions)]
+        self.verify_indexes();
+        true
+    }
+
     /// Runs the simulation to completion under `policy` and returns the report.
     ///
     /// # Panics
@@ -478,31 +796,13 @@ impl SharingSimulator {
     /// Panics if the policy starves an application (the event queue drains while
     /// unfinished applications remain) or the event bound is exceeded.
     pub fn run(&mut self, policy: &mut dyn Policy) -> RunReport {
-        let mut processed: u64 = 0;
-        while let Some((time, event)) = self.events.pop() {
-            debug_assert!(time >= self.now, "event time went backwards");
-            self.now = time;
-            self.handle_event(event);
-            policy.schedule(self);
-            self.launch_sweep();
-            processed += 1;
-            assert!(
-                processed < MAX_EVENTS,
-                "simulation exceeded {MAX_EVENTS} events — livelock in policy `{}`?",
-                policy.name()
-            );
-        }
+        while self.step(policy) {}
 
-        let unfinished: Vec<AppId> = self
-            .apps
-            .values()
-            .filter(|a| a.state != AppState::Completed)
-            .map(|a| a.id)
-            .collect();
         assert!(
-            unfinished.is_empty() && self.apps.len() == self.pending_arrivals.len(),
-            "policy `{}` left applications unfinished: {unfinished:?}",
-            policy.name()
+            self.active.is_empty() && self.apps.len() == self.pending_arrivals.len(),
+            "policy `{}` left applications unfinished: {:?}",
+            policy.name(),
+            self.active
         );
 
         self.build_report(policy.name())
@@ -538,6 +838,7 @@ impl SharingSimulator {
             spec.name().to_string(),
         );
         self.apps.insert(id, app);
+        self.index_app_arrived(id);
         self.candidate_queue_updated();
     }
 
@@ -551,6 +852,7 @@ impl SharingSimulator {
             unit,
             busy: false,
         };
+        self.index_slot_loaded_idle(slot_idx);
         self.trace.log(
             self.now,
             TraceKind::PrCompleted,
@@ -593,7 +895,9 @@ impl SharingSimulator {
         );
 
         if unit_finished {
+            let slot_kind = self.slots[slot_idx].descriptor.kind;
             self.slots[slot_idx].state = SlotState::Free;
+            self.index_slot_freed(slot_idx, app_id, slot_kind);
             self.trace.log(
                 self.now,
                 TraceKind::TaskCompleted,
@@ -608,12 +912,14 @@ impl SharingSimulator {
                 unit: unit_idx,
                 busy: false,
             };
+            self.index_slot_loaded_idle(slot_idx);
         }
 
         if app_finished {
             let app = self.apps.get_mut(&app_id).expect("unknown application");
             app.state = AppState::Completed;
             app.completion = Some(self.now);
+            self.index_app_completed(app_id);
             self.trace.log(
                 self.now,
                 TraceKind::AppCompleted,
@@ -633,6 +939,7 @@ impl SharingSimulator {
                 slot.enabled = true;
             }
         }
+        self.index_board_enabled(board, true);
         self.active_board = board;
         self.pending_switch = false;
         self.trace.log(
@@ -648,18 +955,19 @@ impl SharingSimulator {
     /// Launches every batch item that is ready: its unit is loaded in an idle slot,
     /// the predecessor unit has produced the next item, and the batch is not done.
     fn launch_sweep(&mut self) {
-        let app_ids: Vec<AppId> = self
-            .apps
-            .values()
-            .filter(|a| a.state == AppState::Running)
-            .map(|a| a.id)
-            .collect();
-        for app_id in app_ids {
+        let mut ids = std::mem::take(&mut self.sweep_scratch);
+        ids.clear();
+        ids.extend(self.active.iter().copied());
+        for &app_id in &ids {
+            if self.apps[&app_id].state != AppState::Running {
+                continue;
+            }
             let unit_count = self.apps[&app_id].units.len();
             for unit_idx in 0..unit_count {
                 self.try_launch(app_id, unit_idx);
             }
         }
+        self.sweep_scratch = ids;
     }
 
     fn try_launch(&mut self, app_id: AppId, unit_idx: usize) {
@@ -713,6 +1021,7 @@ impl SharingSimulator {
         if let SlotState::Loaded { busy, .. } = &mut self.slots[slot_idx].state {
             *busy = true;
         }
+        self.index_slot_busy(slot_idx);
         self.events
             .push(complete, Event::ItemComplete { slot: slot_idx });
         self.trace.log(
@@ -744,25 +1053,22 @@ impl SharingSimulator {
             .filter(|a| a.started || a.state == AppState::Completed)
             .map(|a| self.suite[a.app_index].task_count() as u64)
             .sum();
-        let candidates: Vec<&AppRuntime> = self
-            .apps
-            .values()
-            .filter(|a| a.state != AppState::Completed)
-            .collect();
+        let candidate_apps = self.active.len() as u64;
+        let candidate_batch: u64 = self
+            .active
+            .iter()
+            .map(|id| self.apps[id].batch as u64)
+            .sum();
         let inputs = DswitchInputs {
             blocked_tasks: self.window_blocked,
             pr_tasks,
-            candidate_apps: candidates.len() as u64,
-            candidate_batch: candidates.iter().map(|a| a.batch as u64).sum(),
+            candidate_apps,
+            candidate_batch,
         };
         let value = dswitch_value(inputs);
         self.window_blocked = 0;
 
-        let completed_apps = self
-            .apps
-            .values()
-            .filter(|a| a.state == AppState::Completed)
-            .count() as u64;
+        let completed_apps = (self.apps.len() - self.active.len()) as u64;
 
         let mut triggered = false;
         let target = self
@@ -797,11 +1103,7 @@ impl SharingSimulator {
             return false;
         }
 
-        let migrated_apps = self
-            .apps
-            .values()
-            .filter(|a| a.state != AppState::Completed)
-            .count() as u32;
+        let migrated_apps = self.active.len() as u32;
         let switching_cfg = self.config.switching.expect("switching configured");
         let overhead = migration_overhead(
             migrated_apps,
@@ -814,6 +1116,7 @@ impl SharingSimulator {
                 slot.enabled = false;
             }
         }
+        self.index_board_enabled(self.active_board, false);
         self.pending_switch = true;
         self.switches += 1;
         self.events.push(
@@ -903,7 +1206,9 @@ impl SharingSimulator {
                 app_index: a.app_index,
                 batch_size: a.batch,
                 arrival: a.arrival,
-                completion: a.completion.expect("completed application has a completion time"),
+                completion: a
+                    .completion
+                    .expect("completed application has a completion time"),
                 pr_count: a.pr_count,
                 used_big_slot: a.used_big,
             })
@@ -922,6 +1227,7 @@ impl SharingSimulator {
             blocked_events: self.blocked_events,
             blocked_tasks: self.blocked_tasks,
             switches: self.switches,
+            events_processed: self.events_processed,
             makespan,
             mean_slot_occupancy: self.occupancy.time_weighted_mean(self.now),
             mean_lut_utilization: self.lut_util.time_weighted_mean(self.now),
@@ -940,7 +1246,12 @@ mod tests {
     use versaslot_workload::benchmarks::BenchmarkApp;
 
     fn single_arrival(app: BenchmarkApp, batch: u32) -> Vec<AppArrival> {
-        vec![AppArrival::new(AppId(0), app.suite_index(), batch, SimTime::ZERO)]
+        vec![AppArrival::new(
+            AppId(0),
+            app.suite_index(),
+            batch,
+            SimTime::ZERO,
+        )]
     }
 
     #[test]
@@ -995,5 +1306,61 @@ mod tests {
         // The app cannot finish faster than its bottleneck stage times the batch.
         let lower_bound = spec.max_stage_time() * batch as u64;
         assert!(report.apps[0].response() >= lower_bound);
+    }
+
+    #[test]
+    fn indexed_queries_match_naive_slot_scans() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_big_little());
+        let mut sim = SharingSimulator::new(
+            config,
+            BenchmarkApp::suite(),
+            &single_arrival(BenchmarkApp::ImageCompression, 8),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        while sim.step(&mut policy) {
+            sim.verify_indexes();
+            for &app in sim.active_apps() {
+                for kind in [None, Some(SlotKind::Big), Some(SlotKind::Little)] {
+                    let naive: Vec<usize> = sim
+                        .slots()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_free())
+                        .filter(|(_, s)| kind.is_none_or(|k| s.descriptor.kind == k))
+                        .filter(|(_, s)| {
+                            s.enabled
+                                || (sim.app(app).started
+                                    && sim.app(app).home_board == Some(s.board.0 as usize))
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(sim.grantable_slot_indices(app, kind), naive);
+                    assert_eq!(sim.first_grantable_slot(app, kind), naive.first().copied());
+                    assert_eq!(sim.has_grantable_slot(app, kind), !naive.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grantable_scratch_variant_matches_allocating_variant() {
+        let config = SystemConfig::single_board(BoardSpec::zcu216_only_little());
+        let mut sim = SharingSimulator::new(
+            config,
+            BenchmarkApp::suite(),
+            &single_arrival(BenchmarkApp::LeNet, 4),
+        );
+        let mut policy = VersaSlotPolicy::new();
+        let mut scratch = Vec::new();
+        while sim.step(&mut policy) {
+            for &app in sim.active_apps() {
+                scratch.clear();
+                sim.grantable_slots_into(app, Some(SlotKind::Little), &mut scratch);
+                assert_eq!(
+                    scratch,
+                    sim.grantable_slot_indices(app, Some(SlotKind::Little))
+                );
+            }
+        }
     }
 }

@@ -51,10 +51,15 @@ pub mod engine;
 pub mod ilp;
 pub mod metrics;
 pub mod migration;
+pub mod par;
 pub mod policy;
 pub mod runner;
 
 pub use config::{SwitchingConfig, SystemConfig};
 pub use engine::SharingSimulator;
 pub use metrics::{AppRecord, RunReport};
-pub use runner::{run_cluster_sequence, run_sequence, run_workload, ClusterMode, SchedulerKind};
+pub use par::{parallel_map, Parallelism};
+pub use runner::{
+    run_cluster_sequence, run_cluster_workload, run_sequence, run_workload, run_workload_with,
+    ClusterMode, SchedulerKind,
+};

@@ -7,7 +7,7 @@
 //! counts (the inputs to D_switch) and time-weighted slot occupancy.
 
 use serde::{Deserialize, Serialize};
-use versaslot_sim::{Summary, SummaryBuilder, SimDuration, SimTime};
+use versaslot_sim::{SimDuration, SimTime, Summary, SummaryBuilder};
 use versaslot_workload::AppId;
 
 use crate::dswitch::DswitchSample;
@@ -55,6 +55,9 @@ pub struct RunReport {
     pub blocked_tasks: u64,
     /// Number of cross-board switches performed (zero for single-board runs).
     pub switches: u64,
+    /// Simulation events processed to produce this run (deterministic; the
+    /// bench harness divides it by wall-clock time for a throughput metric).
+    pub events_processed: u64,
     /// Time at which the last application completed.
     pub makespan: SimTime,
     /// Time-weighted mean fraction of slots that were occupied (loaded or
@@ -213,6 +216,7 @@ mod tests {
             blocked_events: 2,
             blocked_tasks: 1,
             switches: 0,
+            events_processed: 0,
             makespan: SimTime::from_millis(*responses_ms.iter().max().unwrap_or(&0)),
             mean_slot_occupancy: 0.5,
             mean_lut_utilization: 0.3,

@@ -1,0 +1,140 @@
+//! Deterministic parallel fan-out for independent simulation runs.
+//!
+//! The evaluation sweeps (scheduler × congestion × sequence) matrices of
+//! completely independent simulations, so the harness is embarrassingly
+//! parallel.  [`parallel_map`] runs a job list across scoped worker threads and
+//! returns results **in input order**, so a parallel sweep produces exactly the
+//! same output as a sequential one — determinism is checked by the equality
+//! tests in `versaslot-bench`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a job list is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One job at a time on the calling thread.
+    Sequential,
+    /// Scoped worker threads, one per available core (capped by the job count).
+    #[default]
+    Auto,
+    /// Exactly this many scoped worker threads (capped by the job count).  The
+    /// determinism tests use it to force the multi-threaded path even on a
+    /// single-core machine.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Number of worker threads for `jobs` jobs.
+    fn workers(self, jobs: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(jobs),
+            Parallelism::Threads(n) => n.max(1).min(jobs),
+        }
+    }
+}
+
+/// Applies `f` to every item of `items`, returning the results in input order.
+///
+/// Under [`Parallelism::Auto`] the items are claimed dynamically by scoped
+/// worker threads (an atomic cursor, so long and short jobs balance); the
+/// collected results are reordered by input index before returning, making the
+/// output independent of scheduling.  `f` must be deterministic for the
+/// sequential and parallel paths to agree byte-for-byte — the simulator
+/// guarantees this for a fixed seed.
+pub fn parallel_map<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = parallelism.workers(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else {
+                        break;
+                    };
+                    local.push((idx, f(item)));
+                }
+                collected
+                    .lock()
+                    .expect("worker thread panicked while holding the result lock")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut results = collected
+        .into_inner()
+        .expect("worker thread panicked while holding the result lock");
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(Parallelism::Auto, &items, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |x: &u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        assert_eq!(
+            parallel_map(Parallelism::Sequential, &items, f),
+            parallel_map(Parallelism::Auto, &items, f)
+        );
+    }
+
+    #[test]
+    fn forced_thread_counts_agree_with_sequential() {
+        let items: Vec<u64> = (0..33).collect();
+        let f = |x: &u64| x.wrapping_mul(31).wrapping_add(7);
+        let sequential = parallel_map(Parallelism::Sequential, &items, f);
+        for workers in [2, 4, 7] {
+            assert_eq!(
+                parallel_map(Parallelism::Threads(workers), &items, f),
+                sequential,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(Parallelism::Auto, &none, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn uneven_job_durations_balance() {
+        // Long jobs first: dynamic claiming must still return ordered results.
+        let items: Vec<u64> = (0..16).rev().collect();
+        let results = parallel_map(Parallelism::Auto, &items, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros(x * 50));
+            x
+        });
+        assert_eq!(results, items);
+    }
+}

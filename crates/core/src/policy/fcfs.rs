@@ -13,13 +13,16 @@ use super::{grant_little_slots, unplaced_demand, Policy};
 use crate::engine::SharingSimulator;
 
 /// First-come-first-served slot allocation (single-core comparator).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FcfsPolicy;
+#[derive(Debug, Clone, Default)]
+pub struct FcfsPolicy {
+    /// Reusable application list (no steady-state allocation).
+    scratch: Vec<AppId>,
+}
 
 impl FcfsPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        FcfsPolicy
+        FcfsPolicy::default()
     }
 }
 
@@ -29,11 +32,13 @@ impl Policy for FcfsPolicy {
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
-        // Arrival order == AppId order (identifiers are assigned by arrival).
-        let mut apps: Vec<AppId> = sim.active_app_ids();
-        apps.sort();
+        // Arrival order == AppId order; the engine's active set is already sorted
+        // by identifier.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(sim.active_apps());
         let slot_total = sim.enabled_slot_total(SlotKind::Little).max(1);
-        for app in apps {
+        for i in 0..self.scratch.len() {
+            let app = self.scratch[i];
             let want = unplaced_demand(sim, app).min(slot_total);
             if want == 0 {
                 continue;
@@ -64,7 +69,7 @@ mod tests {
     use super::*;
     use crate::config::SystemConfig;
     use crate::engine::SharingSimulator;
-    use versaslot_fpga::board::{BoardSpec};
+    use versaslot_fpga::board::BoardSpec;
     use versaslot_fpga::cpu::CoreAssignment;
     use versaslot_sim::{SimDuration, SimTime};
     use versaslot_workload::benchmarks::BenchmarkApp;
@@ -77,7 +82,12 @@ mod tests {
     #[test]
     fn all_apps_complete_in_arrival_order_bias() {
         let arrivals = vec![
-            AppArrival::new(AppId(0), BenchmarkApp::OpticalFlow.suite_index(), 8, SimTime::ZERO),
+            AppArrival::new(
+                AppId(0),
+                BenchmarkApp::OpticalFlow.suite_index(),
+                8,
+                SimTime::ZERO,
+            ),
             AppArrival::new(
                 AppId(1),
                 BenchmarkApp::LeNet.suite_index(),

@@ -26,14 +26,14 @@ use crate::ilp::optimal_little_slots;
 #[derive(Debug, Clone, Default)]
 pub struct NimblockPolicy {
     optimal_cache: BTreeMap<AppId, u32>,
+    /// Reusable priority-sorted application list (no steady-state allocation).
+    scratch: Vec<AppId>,
 }
 
 impl NimblockPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        NimblockPolicy {
-            optimal_cache: BTreeMap::new(),
-        }
+        NimblockPolicy::default()
     }
 
     fn optimal_slots(&mut self, sim: &SharingSimulator, app: AppId) -> u32 {
@@ -62,8 +62,7 @@ impl Policy for NimblockPolicy {
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
-        let mut apps: Vec<AppId> = sim.active_app_ids();
-        if apps.is_empty() {
+        if sim.active_apps().is_empty() {
             return;
         }
 
@@ -71,18 +70,21 @@ impl Policy for NimblockPolicy {
         // not starved; preemption happens at item boundaries after a quantum.
         super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
 
-        apps.sort_by(|a, b| {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(sim.active_apps());
+        self.scratch.sort_by(|a, b| {
             Self::priority(sim, *b)
                 .partial_cmp(&Self::priority(sim, *a))
                 .expect("priorities are finite")
                 .then(a.cmp(b))
         });
 
-        let contended = apps.len() > 1;
+        let contended = self.scratch.len() > 1;
 
         // First pass: respect the ILP-optimal slot count per application while the
         // fabric is contended.
-        for &app in &apps {
+        for i in 0..self.scratch.len() {
+            let app = self.scratch[i];
             let optimal = self.optimal_slots(sim, app);
             let (_, in_use) = sim.slots_in_use_by(app);
             let cap = if contended {
@@ -96,7 +98,8 @@ impl Policy for NimblockPolicy {
 
         // Second pass: hand any leftover slots to applications that can still use
         // them (redistribution keeps slots from idling).
-        for &app in &apps {
+        for i in 0..self.scratch.len() {
+            let app = self.scratch[i];
             let want = unplaced_demand(sim, app);
             if want > 0 {
                 super::grant_little_slots(sim, app, want);

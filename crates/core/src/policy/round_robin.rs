@@ -13,15 +13,17 @@ use super::{unplaced_demand, Policy};
 use crate::engine::SharingSimulator;
 
 /// Round-robin slot allocation (single-core comparator).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RoundRobinPolicy {
     cursor: usize,
+    /// Reusable needy-application list (no steady-state allocation).
+    needy: Vec<AppId>,
 }
 
 impl RoundRobinPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        RoundRobinPolicy { cursor: 0 }
+        RoundRobinPolicy::default()
     }
 }
 
@@ -31,9 +33,7 @@ impl Policy for RoundRobinPolicy {
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
-        let mut apps: Vec<AppId> = sim.active_app_ids();
-        apps.sort();
-        if apps.is_empty() {
+        if sim.active_apps().is_empty() {
             return;
         }
 
@@ -42,25 +42,27 @@ impl Policy for RoundRobinPolicy {
         super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
 
         // Keep handing out one slot per needy application, starting after the last
-        // application served, until either slots or demand run out.
+        // application served, until either slots or demand run out.  The active
+        // set is already in identifier (arrival) order.
         loop {
-            let needy: Vec<AppId> = apps
-                .iter()
-                .copied()
-                .filter(|a| unplaced_demand(sim, *a) > 0)
-                .collect();
-            if needy.is_empty() {
+            self.needy.clear();
+            self.needy.extend(
+                sim.active_apps()
+                    .iter()
+                    .copied()
+                    .filter(|a| unplaced_demand(sim, *a) > 0),
+            );
+            if self.needy.is_empty() {
                 break;
             }
             let mut granted_any = false;
-            for offset in 0..needy.len() {
-                let app = needy[(self.cursor + offset) % needy.len()];
-                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Little));
-                let Some(&slot) = candidates.first() else {
+            for offset in 0..self.needy.len() {
+                let app = self.needy[(self.cursor + offset) % self.needy.len()];
+                let Some(slot) = sim.first_grantable_slot(app, Some(SlotKind::Little)) else {
                     continue;
                 };
                 if sim.grant_slot(slot, app) {
-                    self.cursor = (self.cursor + offset + 1) % needy.len().max(1);
+                    self.cursor = (self.cursor + offset + 1) % self.needy.len().max(1);
                     granted_any = true;
                     break;
                 }

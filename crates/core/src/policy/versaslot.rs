@@ -27,7 +27,7 @@ use versaslot_fpga::slot::SlotKind;
 use versaslot_workload::AppId;
 
 use super::Policy;
-use crate::allocation::{allocate, AllocationState, AppAllocInfo};
+use crate::allocation::{allocate, AllocInputs, AllocationState, AppAllocInfo};
 use crate::engine::{AppState, SharingSimulator};
 use crate::ilp::{optimal_big_slots, optimal_little_slots};
 
@@ -36,15 +36,18 @@ use crate::ilp::{optimal_big_slots, optimal_little_slots};
 pub struct VersaSlotPolicy {
     state: AllocationState,
     optimal_cache: BTreeMap<AppId, (u32, u32)>,
+    /// Reusable Algorithm 1 input table (no steady-state allocation).
+    info: AllocInputs,
+    /// Reusable active-application list.
+    active: Vec<AppId>,
+    /// Reusable work-conserving candidate list.
+    candidates: Vec<AppId>,
 }
 
 impl VersaSlotPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        VersaSlotPolicy {
-            state: AllocationState::new(),
-            optimal_cache: BTreeMap::new(),
-        }
+        VersaSlotPolicy::default()
     }
 
     /// Exposes the allocator state (used by tests).
@@ -75,7 +78,6 @@ impl VersaSlotPolicy {
         let remaining = runtime.remaining_work().as_millis_f64().max(1.0);
         (waited + 1.0) / remaining
     }
-
 }
 
 impl Policy for VersaSlotPolicy {
@@ -84,7 +86,8 @@ impl Policy for VersaSlotPolicy {
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
-        let active = sim.active_app_ids();
+        self.active.clear();
+        self.active.extend_from_slice(sim.active_apps());
 
         // Preemption applies to Little slots only (an application cannot occupy
         // both Big and Little slots, and Big-bound applications finish all their
@@ -94,7 +97,8 @@ impl Policy for VersaSlotPolicy {
         super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
 
         // Register new arrivals with the allocator.
-        for &app in &active {
+        for i in 0..self.active.len() {
+            let app = self.active[i];
             if sim.app(app).state == AppState::Waiting
                 && !self.state.is_bound_big(app)
                 && !self.state.is_bound_little(app)
@@ -111,12 +115,13 @@ impl Policy for VersaSlotPolicy {
                 .then(a.cmp(b))
         });
 
-        // Build the Algorithm 1 inputs.
-        let mut info = BTreeMap::new();
-        for &app in &active {
+        // Build the Algorithm 1 inputs (reused table, no per-pass map).
+        self.info.clear();
+        for i in 0..self.active.len() {
+            let app = self.active[i];
             let (optimal_big, optimal_little) = self.optimal(sim, app);
             let runtime = sim.app(app);
-            info.insert(
+            self.info.insert(
                 app,
                 AppAllocInfo {
                     can_bundle: sim.can_bundle(app),
@@ -128,29 +133,28 @@ impl Policy for VersaSlotPolicy {
             );
         }
 
-        let allocations = allocate(
+        allocate(
             &mut self.state,
             sim.enabled_slot_total(SlotKind::Big),
             sim.enabled_slot_total(SlotKind::Little),
             sim.free_slot_count(SlotKind::Big),
             sim.free_slot_count(SlotKind::Little),
-            &info,
+            &self.info,
         );
 
         // Granting pass of Algorithm 2: top every bound application up to its
         // allocation R_Ai.  Applications bound to Big slots complete all their
         // 3-in-1 tasks there; Little-bound applications may also keep draining on
         // their home board after a cross-board switch.
-        let bound_big = self.state.bound_big.clone();
-        for app in bound_big {
-            let target = allocations.get(&app).map(|a| a.big).unwrap_or(0);
+        for i in 0..self.state.bound_big.len() {
+            let app = self.state.bound_big[i];
+            let target = self.state.allocation(app).big;
             loop {
                 let (used_big, _) = sim.slots_in_use_by(app);
                 if used_big >= target {
                     break;
                 }
-                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Big));
-                let Some(&slot) = candidates.first() else {
+                let Some(slot) = sim.first_grantable_slot(app, Some(SlotKind::Big)) else {
                     break;
                 };
                 if !sim.grant_slot(slot, app) {
@@ -159,16 +163,15 @@ impl Policy for VersaSlotPolicy {
             }
         }
 
-        let bound_little = self.state.bound_little.clone();
-        for app in bound_little {
-            let target = allocations.get(&app).map(|a| a.little).unwrap_or(0);
+        for i in 0..self.state.bound_little.len() {
+            let app = self.state.bound_little[i];
+            let target = self.state.allocation(app).little;
             loop {
                 let (_, used_little) = sim.slots_in_use_by(app);
                 if used_little >= target {
                     break;
                 }
-                let candidates = sim.grantable_slot_indices(app, Some(SlotKind::Little));
-                let Some(&slot) = candidates.first() else {
+                let Some(slot) = sim.first_grantable_slot(app, Some(SlotKind::Little)) else {
                     break;
                 };
                 if !sim.grant_slot(slot, app) {
@@ -181,19 +184,21 @@ impl Policy for VersaSlotPolicy {
         // the allocation-driven grants go to candidate applications (front of the
         // runnable queue first) rather than idling — the paper's redistribution
         // goal of "effectively avoiding slot idling".
-        let mut candidates: Vec<AppId> = active
-            .iter()
-            .copied()
-            .filter(|app| !self.state.is_bound_big(*app))
-            .filter(|app| sim.app(*app).unplaced_units() > 0)
-            .collect();
-        candidates.sort_by(|a, b| {
+        self.candidates.clear();
+        for i in 0..self.active.len() {
+            let app = self.active[i];
+            if !self.state.is_bound_big(app) && sim.app(app).unplaced_units() > 0 {
+                self.candidates.push(app);
+            }
+        }
+        self.candidates.sort_by(|a, b| {
             Self::priority(sim, *b)
                 .partial_cmp(&Self::priority(sim, *a))
                 .expect("priorities are finite")
                 .then(a.cmp(b))
         });
-        for app in candidates {
+        for i in 0..self.candidates.len() {
+            let app = self.candidates[i];
             // Bundle-capable applications that are still waiting are left for the
             // Big-slot binding of the next pass when a Big slot is available.
             let still_waiting = self.state.waiting.contains(&app);

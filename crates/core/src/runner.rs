@@ -16,6 +16,7 @@ use crate::baseline::run_baseline;
 use crate::config::{SwitchingConfig, SystemConfig};
 use crate::engine::SharingSimulator;
 use crate::metrics::RunReport;
+use crate::par::{parallel_map, Parallelism};
 use crate::policy::fcfs::FcfsPolicy;
 use crate::policy::nimblock::NimblockPolicy;
 use crate::policy::round_robin::RoundRobinPolicy;
@@ -92,7 +93,11 @@ impl SchedulerKind {
 }
 
 /// Simulates one workload sequence under one system.
-pub fn run_sequence(kind: SchedulerKind, workload: &Workload, sequence: &WorkloadSequence) -> RunReport {
+pub fn run_sequence(
+    kind: SchedulerKind,
+    workload: &Workload,
+    sequence: &WorkloadSequence,
+) -> RunReport {
     let board = kind.board();
     match kind.policy() {
         None => {
@@ -102,8 +107,7 @@ pub fn run_sequence(kind: SchedulerKind, workload: &Workload, sequence: &Workloa
         }
         Some(mut policy) => {
             let config = SystemConfig::single_board(board);
-            let mut sim =
-                SharingSimulator::new(config, workload.suite.clone(), &sequence.arrivals);
+            let mut sim = SharingSimulator::new(config, workload.suite.clone(), &sequence.arrivals);
             let mut report = sim.run(policy.as_mut());
             report.scheduler = kind.label().to_string();
             report
@@ -111,13 +115,25 @@ pub fn run_sequence(kind: SchedulerKind, workload: &Workload, sequence: &Workloa
     }
 }
 
-/// Simulates every sequence of `workload` under one system.
+/// Simulates every sequence of `workload` under one system, fanning the
+/// independent sequences out across worker threads.
+///
+/// Reports come back in sequence order and are byte-identical to a sequential
+/// run (see [`crate::par::parallel_map`]).
 pub fn run_workload(kind: SchedulerKind, workload: &Workload) -> Vec<RunReport> {
-    workload
-        .sequences
-        .iter()
-        .map(|sequence| run_sequence(kind, workload, sequence))
-        .collect()
+    run_workload_with(kind, workload, Parallelism::Auto)
+}
+
+/// [`run_workload`] with an explicit execution mode (the determinism tests
+/// compare the two paths).
+pub fn run_workload_with(
+    kind: SchedulerKind,
+    workload: &Workload,
+    parallelism: Parallelism,
+) -> Vec<RunReport> {
+    parallel_map(parallelism, &workload.sequences, |sequence| {
+        run_sequence(kind, workload, sequence)
+    })
 }
 
 /// The three running modes of the cross-board switching experiment (Figure 8).
@@ -175,6 +191,32 @@ pub fn run_cluster_sequence(
     report
 }
 
+/// Simulates every sequence of `workload` under one cluster running mode,
+/// fanning the independent sequences out across worker threads.
+///
+/// Reports come back in sequence order and are byte-identical to a sequential
+/// run (see [`crate::par::parallel_map`]).
+pub fn run_cluster_workload(
+    mode: ClusterMode,
+    workload: &Workload,
+    switching: SwitchingConfig,
+) -> Vec<RunReport> {
+    run_cluster_workload_with(mode, workload, switching, Parallelism::Auto)
+}
+
+/// [`run_cluster_workload`] with an explicit execution mode (the determinism
+/// tests compare the two paths).
+pub fn run_cluster_workload_with(
+    mode: ClusterMode,
+    workload: &Workload,
+    switching: SwitchingConfig,
+    parallelism: Parallelism,
+) -> Vec<RunReport> {
+    parallel_map(parallelism, &workload.sequences, |sequence| {
+        run_cluster_sequence(mode, workload, sequence, switching)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,10 +251,81 @@ mod tests {
     }
 
     #[test]
+    fn run_workload_is_deterministic_across_execution_modes() {
+        let workload =
+            generate_workload(&WorkloadConfig::paper_default(Congestion::Stress).with_shape(3, 8));
+        for kind in [SchedulerKind::Baseline, SchedulerKind::VersaSlotBigLittle] {
+            let sequential = run_workload_with(kind, &workload, Parallelism::Sequential);
+            let threaded = run_workload_with(kind, &workload, Parallelism::Threads(4));
+            assert_eq!(
+                serde_json::to_string(&sequential).expect("reports serialise"),
+                serde_json::to_string(&threaded).expect("reports serialise"),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_cluster_workload_is_deterministic_across_execution_modes() {
+        let workload = generate_workload(&WorkloadConfig::paper_switching().with_shape(2, 10));
+        for mode in ClusterMode::all() {
+            let sequential = run_cluster_workload_with(
+                mode,
+                &workload,
+                SwitchingConfig::default(),
+                Parallelism::Sequential,
+            );
+            let threaded = run_cluster_workload_with(
+                mode,
+                &workload,
+                SwitchingConfig::default(),
+                Parallelism::Threads(4),
+            );
+            assert_eq!(
+                serde_json::to_string(&sequential).expect("reports serialise"),
+                serde_json::to_string(&threaded).expect("reports serialise"),
+                "{mode:?}"
+            );
+            assert_eq!(
+                serde_json::to_string(&sequential).expect("reports serialise"),
+                serde_json::to_string(&run_cluster_workload(
+                    mode,
+                    &workload,
+                    SwitchingConfig::default()
+                ))
+                .expect("reports serialise"),
+                "{mode:?}"
+            );
+        }
+    }
+
+    /// Property-style check of the tentpole invariant: after every event, under
+    /// every policy, the incremental indexes must match a naive recount of the
+    /// slot table ([`SharingSimulator::verify_indexes`] panics on divergence).
+    #[test]
+    fn indexes_survive_every_policy_and_congestion() {
+        for congestion in [Congestion::Standard, Congestion::Stress] {
+            let workload = tiny_workload(congestion);
+            for kind in SchedulerKind::all() {
+                let Some(mut policy) = kind.policy() else {
+                    continue; // the baseline bypasses the sharing engine
+                };
+                let config = SystemConfig::single_board(kind.board());
+                let mut sim = SharingSimulator::new(
+                    config,
+                    workload.suite.clone(),
+                    &workload.sequences[0].arrivals,
+                );
+                while sim.step(policy.as_mut()) {
+                    sim.verify_indexes();
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cluster_modes_complete_and_switching_records_dswitch() {
-        let workload = generate_workload(
-            &WorkloadConfig::paper_switching().with_shape(1, 16),
-        );
+        let workload = generate_workload(&WorkloadConfig::paper_switching().with_shape(1, 16));
         let sequence = &workload.sequences[0];
         for mode in ClusterMode::all() {
             let report =

@@ -45,7 +45,10 @@ impl AuroraLink {
     ///
     /// Panics if `bandwidth_bytes_per_sec` is zero.
     pub fn new(bandwidth_bytes_per_sec: u64, base_latency: SimDuration) -> Self {
-        assert!(bandwidth_bytes_per_sec > 0, "link bandwidth must be positive");
+        assert!(
+            bandwidth_bytes_per_sec > 0,
+            "link bandwidth must be positive"
+        );
         AuroraLink {
             bandwidth_bytes_per_sec,
             base_latency,
@@ -54,8 +57,7 @@ impl AuroraLink {
 
     /// Duration of moving `size_bytes` of migration payload across the link.
     pub fn transfer_duration(&self, size_bytes: u64) -> SimDuration {
-        let micros =
-            (size_bytes as u128 * 1_000_000 / self.bandwidth_bytes_per_sec as u128) as u64;
+        let micros = (size_bytes as u128 * 1_000_000 / self.bandwidth_bytes_per_sec as u128) as u64;
         self.base_latency + SimDuration::from_micros(micros)
     }
 }

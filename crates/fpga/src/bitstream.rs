@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn bitstream_kind_maps_to_slot_kind() {
-        assert_eq!(BitstreamKind::LittlePartial.slot_kind(), Some(SlotKind::Little));
+        assert_eq!(
+            BitstreamKind::LittlePartial.slot_kind(),
+            Some(SlotKind::Little)
+        );
         assert_eq!(BitstreamKind::BigPartial.slot_kind(), Some(SlotKind::Big));
         assert_eq!(BitstreamKind::Full.slot_kind(), None);
     }

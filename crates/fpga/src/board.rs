@@ -16,7 +16,7 @@ use crate::cpu::CoreAssignment;
 use crate::interconnect::DmaModel;
 use crate::pcap::PcapModel;
 use crate::resources::ResourceVector;
-use crate::slot::{SlotLayout, SlotKind};
+use crate::slot::{SlotKind, SlotLayout};
 
 /// Identifier of a board within the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -137,8 +137,11 @@ mod tests {
     fn builder_style_overrides() {
         let board = BoardSpec::zcu216_only_little().with_cores(CoreAssignment::SingleCore);
         assert!(board.cores.pr_blocks_scheduler());
-        let custom = BoardSpec::zcu216_big_little()
-            .with_layout(SlotLayout::with_counts(1, 6, BoardSpec::zcu216_little_capacity()));
+        let custom = BoardSpec::zcu216_big_little().with_layout(SlotLayout::with_counts(
+            1,
+            6,
+            BoardSpec::zcu216_little_capacity(),
+        ));
         assert_eq!(custom.layout.len(), 7);
     }
 

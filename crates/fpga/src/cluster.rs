@@ -121,7 +121,10 @@ mod tests {
     fn single_board_cluster() {
         let cluster = ClusterSpec::single(BoardSpec::zcu216_big_little());
         assert_eq!(cluster.len(), 1);
-        assert_eq!(cluster.board(BoardId(0)).layout.kind(), LayoutKind::BigLittle);
+        assert_eq!(
+            cluster.board(BoardId(0)).layout.kind(),
+            LayoutKind::BigLittle
+        );
     }
 
     #[test]

@@ -160,7 +160,13 @@ mod tests {
     fn earliest_start_respects_block() {
         let mut core = CpuCore::new();
         core.block(SimTime::from_millis(5), SimDuration::from_millis(20));
-        assert_eq!(core.earliest_start(SimTime::from_millis(10)), SimTime::from_millis(25));
-        assert_eq!(core.earliest_start(SimTime::from_millis(30)), SimTime::from_millis(30));
+        assert_eq!(
+            core.earliest_start(SimTime::from_millis(10)),
+            SimTime::from_millis(25)
+        );
+        assert_eq!(
+            core.earliest_start(SimTime::from_millis(30)),
+            SimTime::from_millis(30)
+        );
     }
 }

@@ -43,7 +43,10 @@ impl DmaModel {
     ///
     /// Panics if `throughput_bytes_per_sec` is zero.
     pub fn new(throughput_bytes_per_sec: u64, setup_overhead: SimDuration) -> Self {
-        assert!(throughput_bytes_per_sec > 0, "DMA throughput must be positive");
+        assert!(
+            throughput_bytes_per_sec > 0,
+            "DMA throughput must be positive"
+        );
         DmaModel {
             throughput_bytes_per_sec,
             setup_overhead,

@@ -49,7 +49,10 @@ impl PcapModel {
     ///
     /// Panics if `throughput_bytes_per_sec` is zero.
     pub fn new(throughput_bytes_per_sec: u64, setup_overhead: SimDuration) -> Self {
-        assert!(throughput_bytes_per_sec > 0, "PCAP throughput must be positive");
+        assert!(
+            throughput_bytes_per_sec > 0,
+            "PCAP throughput must be positive"
+        );
         PcapModel {
             throughput_bytes_per_sec,
             setup_overhead,
@@ -194,7 +197,10 @@ mod tests {
         // c arrives after the backlog drained, so it starts immediately.
         assert_eq!(c.start, SimTime::from_millis(30));
         assert_eq!(server.completed(), 3);
-        assert_eq!(b.queueing_delay(SimTime::from_millis(2)), SimDuration::from_millis(8));
+        assert_eq!(
+            b.queueing_delay(SimTime::from_millis(2)),
+            SimDuration::from_millis(8)
+        );
     }
 
     #[test]
@@ -203,8 +209,14 @@ mod tests {
         assert!(!server.is_busy_at(SimTime::ZERO));
         server.submit(SimTime::from_millis(1), SimDuration::from_millis(10));
         assert!(server.is_busy_at(SimTime::from_millis(5)));
-        assert_eq!(server.next_available(SimTime::from_millis(5)), SimTime::from_millis(11));
-        assert_eq!(server.backlog(SimTime::from_millis(5)), SimDuration::from_millis(6));
+        assert_eq!(
+            server.next_available(SimTime::from_millis(5)),
+            SimTime::from_millis(11)
+        );
+        assert_eq!(
+            server.backlog(SimTime::from_millis(5)),
+            SimDuration::from_millis(6)
+        );
         assert_eq!(server.backlog(SimTime::from_millis(20)), SimDuration::ZERO);
     }
 

@@ -138,7 +138,10 @@ impl SlotLayout {
         little: u32,
         little_capacity: ResourceVector,
     ) -> Self {
-        assert!(big + little > 0, "a slot layout must contain at least one slot");
+        assert!(
+            big + little > 0,
+            "a slot layout must contain at least one slot"
+        );
         let mut slots = Vec::with_capacity((big + little) as usize);
         let mut next = 0u32;
         for _ in 0..big {

@@ -202,9 +202,12 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let queue: EventQueue<u32> = [(SimTime::from_micros(2), 2u32), (SimTime::from_micros(1), 1)]
-            .into_iter()
-            .collect();
+        let queue: EventQueue<u32> = [
+            (SimTime::from_micros(2), 2u32),
+            (SimTime::from_micros(1), 1),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(queue.len(), 2);
         assert_eq!(queue.peek_time(), Some(SimTime::from_micros(1)));
     }

@@ -146,11 +146,7 @@ impl SummaryBuilder {
             })
             .sum::<f64>()
             / count as f64;
-        let min = self
-            .values
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = self
             .values
             .iter()

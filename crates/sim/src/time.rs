@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(later.as_micros(), 3_000);
 /// assert_eq!(later - start, SimDuration::from_micros(3_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in microseconds.
@@ -37,7 +39,9 @@ pub struct SimTime(u64);
 /// assert_eq!(pr * 3, SimDuration::from_millis(75));
 /// assert_eq!(pr.as_millis_f64(), 25.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -347,15 +351,15 @@ mod tests {
 
     #[test]
     fn from_millis_f64_rounds() {
-        assert_eq!(SimDuration::from_millis_f64(1.1304), SimDuration::from_micros(1_130));
+        assert_eq!(
+            SimDuration::from_millis_f64(1.1304),
+            SimDuration::from_micros(1_130)
+        );
     }
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_millis)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(6));
     }
 

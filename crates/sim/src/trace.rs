@@ -227,8 +227,22 @@ mod tests {
     #[test]
     fn recording_stores_bodies_in_order() {
         let mut trace = Trace::recording();
-        trace.log(SimTime::from_millis(1), TraceKind::AppArrived, Some(3), None, None, "app 3");
-        trace.log(SimTime::from_millis(2), TraceKind::AppCompleted, Some(3), None, None, "done");
+        trace.log(
+            SimTime::from_millis(1),
+            TraceKind::AppArrived,
+            Some(3),
+            None,
+            None,
+            "app 3",
+        );
+        trace.log(
+            SimTime::from_millis(2),
+            TraceKind::AppCompleted,
+            Some(3),
+            None,
+            None,
+            "done",
+        );
         let events = trace.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].kind, TraceKind::AppArrived);

@@ -300,10 +300,7 @@ mod tests {
         assert!((utils[0] - 0.57).abs() < 0.01);
         assert!((utils[1] - 0.38).abs() < 0.01);
         assert!((utils[2] - 0.28).abs() < 0.01);
-        let bundle_util = ic.bundles()[0]
-            .big_impl
-            .utilization_of(&(LITTLE * 2))
-            .lut;
+        let bundle_util = ic.bundles()[0].big_impl.utilization_of(&(LITTLE * 2)).lut;
         assert!((bundle_util - 0.60).abs() < 0.01);
     }
 
@@ -339,8 +336,7 @@ mod tests {
         // take on the order of seconds — the calibration DESIGN.md §5 describes.
         for app in BenchmarkApp::suite() {
             let batch = 17u64;
-            let makespan =
-                app.max_stage_time() * (batch + app.task_count() as u64 - 1);
+            let makespan = app.max_stage_time() * (batch + app.task_count() as u64 - 1);
             let secs = makespan.as_secs_f64();
             assert!(
                 (0.8..5.0).contains(&secs),

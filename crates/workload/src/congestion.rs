@@ -44,14 +44,8 @@ impl Congestion {
                 SimDuration::from_millis(1_500),
                 SimDuration::from_millis(2_000),
             ),
-            Congestion::Stress => (
-                SimDuration::from_millis(150),
-                SimDuration::from_millis(200),
-            ),
-            Congestion::RealTime => (
-                SimDuration::from_millis(50),
-                SimDuration::from_millis(50),
-            ),
+            Congestion::Stress => (SimDuration::from_millis(150), SimDuration::from_millis(200)),
+            Congestion::RealTime => (SimDuration::from_millis(50), SimDuration::from_millis(50)),
         }
     }
 
@@ -115,7 +109,10 @@ mod tests {
         // Later conditions in `all()` arrive strictly faster.
         let all = Congestion::all();
         for pair in all.windows(2) {
-            assert!(pair[0].interval_range().0 > pair[1].interval_range().1 || pair[0] == Congestion::Loose);
+            assert!(
+                pair[0].interval_range().0 > pair[1].interval_range().1
+                    || pair[0] == Congestion::Loose
+            );
             assert!(pair[0].interval_range().0 >= pair[1].interval_range().0);
         }
     }

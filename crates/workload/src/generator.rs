@@ -161,10 +161,7 @@ mod tests {
     fn paper_default_shape() {
         let workload = generate_workload(&WorkloadConfig::paper_default(Congestion::Standard));
         assert_eq!(workload.sequences.len(), 10);
-        assert!(workload
-            .sequences
-            .iter()
-            .all(|s| s.arrivals.len() == 20));
+        assert!(workload.sequences.iter().all(|s| s.arrivals.len() == 20));
         assert_eq!(workload.suite.len(), 5);
     }
 

@@ -39,6 +39,8 @@ pub mod task;
 pub use application::{AppArrival, AppId, ApplicationSpec, BundleSpec};
 pub use benchmarks::BenchmarkApp;
 pub use congestion::Congestion;
-pub use generator::{generate_sequence, generate_workload, Workload, WorkloadConfig, WorkloadSequence};
+pub use generator::{
+    generate_sequence, generate_workload, Workload, WorkloadConfig, WorkloadSequence,
+};
 pub use partition::{partition_application, PartitionError};
 pub use task::{TaskId, TaskSpec};

@@ -46,7 +46,10 @@ impl fmt::Display for PartitionError {
                 write!(f, "task `{task}` does not fit a Little slot")
             }
             PartitionError::BundleTooLarge { first_task } => {
-                write!(f, "bundle starting at task {first_task} does not fit a Big slot")
+                write!(
+                    f,
+                    "bundle starting at task {first_task} does not fit a Big slot"
+                )
             }
         }
     }

@@ -59,7 +59,10 @@ impl TaskSpec {
     ///
     /// Panics if `exec_per_item` is zero.
     pub fn new(name: impl Into<String>, exec_per_item: SimDuration) -> Self {
-        assert!(!exec_per_item.is_zero(), "a task needs a positive execution time");
+        assert!(
+            !exec_per_item.is_zero(),
+            "a task needs a positive execution time"
+        );
         TaskSpec {
             name: name.into(),
             exec_per_item,

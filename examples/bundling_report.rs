@@ -24,7 +24,12 @@ fn main() {
         BenchmarkApp::LeNet,
     ] {
         let app = kind.spec();
-        println!("{} ({} tasks, {} bundles)", app.name(), app.task_count(), app.bundles().len());
+        println!(
+            "{} ({} tasks, {} bundles)",
+            app.name(),
+            app.task_count(),
+            app.bundles().len()
+        );
         for (i, bundle) in app.bundles().iter().enumerate() {
             let members: Vec<&str> = bundle
                 .task_range()
@@ -37,7 +42,12 @@ fn main() {
             let util = bundle.big_impl.utilization_of(&big);
             let avg_member_lut: f64 = bundle
                 .task_range()
-                .map(|t| app.tasks()[t as usize].little_impl().utilization_of(&little).lut)
+                .map(|t| {
+                    app.tasks()[t as usize]
+                        .little_impl()
+                        .utilization_of(&little)
+                        .lut
+                })
                 .sum::<f64>()
                 / 3.0;
             println!(

@@ -18,8 +18,7 @@ fn main() {
     println!("Cluster running modes over one 40-application Standard workload:\n");
     let mut only_little_mean = None;
     for mode in ClusterMode::all() {
-        let report =
-            run_cluster_sequence(mode, &workload, sequence, SwitchingConfig::default());
+        let report = run_cluster_sequence(mode, &workload, sequence, SwitchingConfig::default());
         let mean = report.mean_response_ms();
         let relative = only_little_mean
             .map(|base: f64| format!("{:.2}x vs Only.Little", base / mean))
@@ -42,7 +41,11 @@ fn main() {
                     sample.completed_apps,
                     sample.value,
                     sample.active_layout.to_string(),
-                    if sample.triggered_switch { "  << switch" } else { "" }
+                    if sample.triggered_switch {
+                        "  << switch"
+                    } else {
+                        ""
+                    }
                 );
             }
             for migration in &report.migrations {

@@ -43,7 +43,10 @@ fn main() {
     );
     let report = simulator.run(&mut VersaSlotPolicy::new());
 
-    println!("VersaSlot Big.Little — {} applications completed", report.completed());
+    println!(
+        "VersaSlot Big.Little — {} applications completed",
+        report.completed()
+    );
     println!(
         "{:<22} {:>8} {:>12} {:>12} {:>6} {:>10}",
         "application", "batch", "arrival", "response", "PRs", "big slot"

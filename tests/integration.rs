@@ -37,7 +37,10 @@ fn every_scheduler_completes_every_congestion_condition() {
 fn responses_are_never_shorter_than_the_pipeline_bound() {
     let workload = small_workload(Congestion::Loose);
     for kind in [SchedulerKind::Baseline, SchedulerKind::VersaSlotBigLittle] {
-        for (report, _) in run_workload(kind, &workload).iter().zip(&workload.sequences) {
+        for (report, _) in run_workload(kind, &workload)
+            .iter()
+            .zip(&workload.sequences)
+        {
             for app in &report.apps {
                 let spec = &workload.suite[app.app_index];
                 let bound = spec.max_stage_time() * app.batch_size as u64;
@@ -60,12 +63,9 @@ fn sharing_systems_beat_the_baseline_under_contention() {
     for congestion in [Congestion::Standard, Congestion::Stress] {
         let workload = small_workload(congestion);
         let baseline = pooled_mean_response_ms(&run_workload(SchedulerKind::Baseline, &workload));
-        let big_little = pooled_mean_response_ms(&run_workload(
-            SchedulerKind::VersaSlotBigLittle,
-            &workload,
-        ));
-        let nimblock =
-            pooled_mean_response_ms(&run_workload(SchedulerKind::Nimblock, &workload));
+        let big_little =
+            pooled_mean_response_ms(&run_workload(SchedulerKind::VersaSlotBigLittle, &workload));
+        let nimblock = pooled_mean_response_ms(&run_workload(SchedulerKind::Nimblock, &workload));
         let speedup = relative_reduction(baseline, big_little);
         assert!(
             speedup > 1.3,
@@ -85,7 +85,10 @@ fn versaslot_big_little_uses_big_slots_and_fewer_prs() {
     let ol = run_workload(SchedulerKind::VersaSlotOnlyLittle, &workload);
     let bl_pr: u64 = bl.iter().map(|r| r.total_pr).sum();
     let ol_pr: u64 = ol.iter().map(|r| r.total_pr).sum();
-    assert!(bl_pr < ol_pr, "bundling should reduce PR count ({bl_pr} vs {ol_pr})");
+    assert!(
+        bl_pr < ol_pr,
+        "bundling should reduce PR count ({bl_pr} vs {ol_pr})"
+    );
     assert!(bl
         .iter()
         .flat_map(|r| r.apps.iter())
@@ -125,12 +128,22 @@ fn figure7_dataset_reproduces_headline_utilization_gains() {
         for bundle in app.bundles() {
             let avg_lut: f64 = bundle
                 .task_range()
-                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).lut)
+                .map(|i| {
+                    app.tasks()[i as usize]
+                        .little_impl()
+                        .utilization_of(&little)
+                        .lut
+                })
                 .sum::<f64>()
                 / 3.0;
             let avg_ff: f64 = bundle
                 .task_range()
-                .map(|i| app.tasks()[i as usize].little_impl().utilization_of(&little).ff)
+                .map(|i| {
+                    app.tasks()[i as usize]
+                        .little_impl()
+                        .utilization_of(&little)
+                        .ff
+                })
                 .sum::<f64>()
                 / 3.0;
             lut_gains.push((bundle.big_impl.utilization_of(&big).lut / avg_lut - 1.0) * 100.0);

@@ -1,0 +1,106 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API used by this workspace's property
+//! tests: the `proptest!` macro with `arg in strategy` bindings, range and tuple
+//! strategies, `prop::collection::vec`, `Strategy::prop_map`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence: each
+//! test runs a fixed number of cases drawn from a ChaCha generator seeded from
+//! the test's name, so failures are reproducible run to run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `prop` module alias real proptest exposes in its prelude.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop_example(x in 0u32..10, v in prop::collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::test_runner::new_rng(stringify!($name));
+                for _case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(
+                        &($strat),
+                        &mut proptest_rng,
+                    );)+
+                    (move || $body)();
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy generating both booleans with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}

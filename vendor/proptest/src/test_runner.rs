@@ -1,0 +1,22 @@
+//! Deterministic case generation for property tests.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The generator driving a property test.
+pub type TestRng = ChaCha12Rng;
+
+/// Number of cases run per property test.
+pub const CASES: u32 = 64;
+
+/// Creates the deterministic generator of a property test, seeded from the
+/// test's name so each test explores a distinct but reproducible sequence.
+pub fn new_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha12Rng::seed_from_u64(hash)
+}

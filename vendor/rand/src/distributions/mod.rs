@@ -1,0 +1,3 @@
+//! Distribution support (uniform ranges only).
+
+pub mod uniform;

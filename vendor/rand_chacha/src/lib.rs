@@ -1,0 +1,176 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements [`ChaCha12Rng`] — a deterministic generator built on the ChaCha
+//! stream cipher with 12 rounds, a 64-bit block counter and a 64-bit stream id
+//! (the `set_stream` API the simulation uses to derive independent child
+//! generators).  The keystream follows the ChaCha specification but upstream
+//! `rand_chacha` bit-compatibility is *not* a goal; all that matters for the
+//! simulation is that a `(seed, stream)` pair always yields the same sequence.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 12;
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha12-based deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread word in `buffer`; `BLOCK_WORDS` means the buffer is spent.
+    cursor: usize,
+}
+
+impl ChaCha12Rng {
+    /// Selects the keystream of `stream`, restarting output from block zero of
+    /// that stream.  Each `(seed, stream)` pair is an independent, reproducible
+    /// sequence.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.cursor = BLOCK_WORDS;
+    }
+
+    /// Returns the current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; BLOCK_WORDS] = [0; BLOCK_WORDS];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, initial) in state.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(*initial);
+        }
+
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; BLOCK_WORDS],
+            cursor: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_streams_differ() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+
+        let base = ChaCha12Rng::seed_from_u64(3);
+        let mut s1 = base.clone();
+        s1.set_stream(1);
+        let mut s2 = base.clone();
+        s2.set_stream(2);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn set_stream_is_reproducible() {
+        let base = ChaCha12Rng::seed_from_u64(9);
+        let mut a = base.clone();
+        a.set_stream(7);
+        let mut b = base.clone();
+        b.set_stream(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so the
+//! workspace vendors a minimal `serde` replacement (see `vendor/serde`).  This
+//! proc-macro crate implements the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! companions for that replacement.
+//!
+//! `Serialize` derives a structural conversion into `serde::Value` following the
+//! same external-tagging conventions as real serde (named structs become objects,
+//! newtype structs serialise transparently, unit enum variants become strings,
+//! data-carrying variants become single-entry objects).  `Deserialize` only emits a
+//! marker impl — nothing in this repository deserialises.
+//!
+//! The parser handles the shapes used in this workspace: non-generic structs and
+//! enums with named, tuple, or unit fields/variants.  Generic types are rejected
+//! with a compile-time panic so a future use is caught immediately.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Target {
+    name: String,
+    body: Body,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    let body = match &target.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Named(fields) => serialize_named_fields(fields, "self."),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant(&target.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = target.name,
+    );
+    output.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        target.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_named_fields(fields: &[String], accessor: &str) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "fields.push((String::from(\"{field}\"), ::serde::Serialize::serialize(&{accessor}{field})));\n"
+        ));
+    }
+    format!(
+        "{{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields) }}"
+    )
+}
+
+fn serialize_variant(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.body {
+        VariantBody::Unit => format!(
+            "{enum_name}::{v} => ::serde::Value::String(String::from(\"{v}\")),"
+        ),
+        VariantBody::Tuple(1) => format!(
+            "{enum_name}::{v}(f0) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Serialize::serialize(f0))]),"
+        ),
+        VariantBody::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = bindings
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Array(vec![{}]))]),",
+                bindings.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantBody::Named(fields) => {
+            let bindings = fields.join(", ");
+            let inner = serialize_named_fields(fields, "");
+            format!(
+                "{enum_name}::{v} {{ {bindings} }} => ::serde::Value::Object(vec![(String::from(\"{v}\"), {inner})]),"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing (no `syn` available offline)
+// ---------------------------------------------------------------------------
+
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+
+    // Skip attributes and visibility, find `struct` / `enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            other => panic!("unsupported derive input near {other:?}"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Body::Enum(parse_variants(g.stream()))
+            } else {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        None => Body::Unit,
+        other => panic!("unsupported body of `{name}`: {other:?}"),
+    };
+
+    Target { name, body }
+}
+
+/// Parses `field: Type, ...` (with optional attributes and visibility) and
+/// returns the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (including doc comments).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.  `<`/`>` pairs (e.g.
+        // `BTreeMap<K, V>`) contain commas at this token level, so track depth.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while i < tokens.len() && matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else {
+                panic!("unsupported token after variant `{name}`: {p:?}");
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
