@@ -6,7 +6,9 @@
 //! scheduler hot-path trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use versaslot_bench::{hot_path_run, hot_path_workload};
+use versaslot_bench::{
+    hot_path_baseline_path, hot_path_run, hot_path_workload, write_hot_path_baseline,
+};
 
 fn bench_hot_path(c: &mut Criterion) {
     let workload = hot_path_workload();
@@ -17,10 +19,8 @@ fn bench_hot_path(c: &mut Criterion) {
         stats.wall_seconds * 1e3,
         stats.events_per_sec
     );
-    let json = serde_json::to_string_pretty(&stats).expect("throughput serialises");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    if let Err(err) = std::fs::write(path, format!("{json}\n")) {
-        eprintln!("could not write {path}: {err}");
+    if let Err(err) = write_hot_path_baseline(&stats) {
+        eprintln!("could not write {}: {err}", hot_path_baseline_path());
     }
 
     let mut group = c.benchmark_group("hot_path");

@@ -1,0 +1,108 @@
+//! CI gate for the scheduler hot path: rerun the hot-path throughput
+//! measurement and fail when `events_per_sec` regresses more than 15% against
+//! the committed `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run -p versaslot-bench --release --bin bench_compare           # gate
+//! cargo run -p versaslot-bench --release --bin bench_compare -- --update
+//! ```
+//!
+//! `--update` additionally rewrites `BENCH_hotpath.json` with the fresh
+//! numbers, which is how a PR commits its refreshed baseline.  The measurement
+//! takes the best of several runs so a single scheduler hiccup on a busy CI
+//! machine doesn't fail the gate spuriously.
+
+use std::process::ExitCode;
+
+use versaslot_bench::{
+    hot_path_baseline_path, hot_path_run, hot_path_workload, write_hot_path_baseline, HotPathStats,
+};
+
+/// Relative regression that fails the gate (ROADMAP: "regressions on the
+/// scheduler hot path should fail review").  Wide enough to absorb
+/// runner-to-runner hardware variance on top of the best-of-N noise floor.
+const TOLERANCE: f64 = 0.15;
+
+/// Measurement runs; the best (highest events/sec) one is compared.
+const RUNS: usize = 5;
+
+/// Extracts `"events_per_sec": <number>` from the committed baseline.  The file
+/// is written by this workspace (see the `hot_path` bench and `--update`), so a
+/// targeted scan beats pulling in a whole JSON parser the vendored stub does
+/// not provide.
+fn parse_baseline(json: &str) -> Option<f64> {
+    let key = "\"events_per_sec\"";
+    let rest = &json[json.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|arg| arg == "--update");
+
+    let workload = hot_path_workload();
+    let mut best: Option<HotPathStats> = None;
+    for run in 1..=RUNS {
+        let stats = hot_path_run(&workload);
+        eprintln!(
+            "run {run}/{RUNS}: {} events in {:.1} ms — {:.0} events/s",
+            stats.simulated_events,
+            stats.wall_seconds * 1e3,
+            stats.events_per_sec
+        );
+        if best.is_none_or(|b| stats.events_per_sec > b.events_per_sec) {
+            best = Some(stats);
+        }
+    }
+    let best = best.expect("at least one measurement run");
+
+    let path = hot_path_baseline_path();
+    let verdict = match std::fs::read_to_string(path) {
+        Ok(json) => match parse_baseline(&json) {
+            Some(baseline) => {
+                let ratio = best.events_per_sec / baseline;
+                println!(
+                    "hot path: {:.0} events/s vs committed {:.0} events/s ({:+.1}%)",
+                    best.events_per_sec,
+                    baseline,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 1.0 - TOLERANCE {
+                    eprintln!(
+                        "FAIL: events_per_sec regressed more than {:.0}% — \
+                         investigate before merging (or refresh the baseline \
+                         with --update if the regression is understood)",
+                        TOLERANCE * 100.0
+                    );
+                    ExitCode::FAILURE
+                } else {
+                    println!("OK: within the {:.0}% gate", TOLERANCE * 100.0);
+                    ExitCode::SUCCESS
+                }
+            }
+            None => {
+                eprintln!("WARN: {path} has no events_per_sec field; skipping the gate");
+                ExitCode::SUCCESS
+            }
+        },
+        Err(err) => {
+            eprintln!("WARN: could not read {path} ({err}); skipping the gate");
+            ExitCode::SUCCESS
+        }
+    };
+
+    if update {
+        match write_hot_path_baseline(&best) {
+            Ok(()) => println!("refreshed {path}"),
+            Err(err) => {
+                eprintln!("ERROR: could not refresh {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    verdict
+}

@@ -14,6 +14,13 @@
 //! Absolute latencies come from the simulated cluster, not the authors' ZCU216
 //! testbed, so the harness is judged on *shape*: which system wins, by roughly what
 //! factor, and where the crossovers fall.
+//!
+//! Figures 5 and 6 fold their congestion conditions into **one** global
+//! (congestion × scheduler × sequence) job list drained by a single
+//! [`parallel_map`] call, so high-core-count machines stay busy across
+//! congestion boundaries; Figure 8 does the same over (mode × sequence).  All
+//! fan-outs regroup results in input order, so sequential and parallel runs are
+//! byte-identical (checked by the determinism tests in this crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -95,22 +102,53 @@ pub fn run_matrix_with(
     shape: Shape,
     parallelism: Parallelism,
 ) -> BTreeMap<String, Vec<RunReport>> {
-    let workload = workload_for(congestion, shape);
-    let jobs: Vec<(SchedulerKind, usize)> = SchedulerKind::all()
-        .into_iter()
-        .flat_map(|kind| (0..workload.sequences.len()).map(move |seq| (kind, seq)))
+    run_congestion_matrices(&[congestion], shape, parallelism)
+        .pop()
+        .expect("one matrix per congestion")
+}
+
+/// Runs the full (congestion × scheduler × sequence) job matrix of several
+/// congestion conditions through **one** [`parallel_map`] call, returning one
+/// per-scheduler report map per congestion, in the order given.
+///
+/// This is the global fan-out [`figure5`] and [`figure6`] sit on: instead of
+/// parallelising each congestion's matrix internally and walking the
+/// congestion conditions sequentially (which leaves cores idle at every
+/// congestion boundary), all `congestions × 6 × sequences` independent
+/// simulations form a single job list that scoped worker threads drain
+/// end-to-end.  Results are regrouped in input order, so the per-congestion
+/// matrices are byte-identical to separate [`run_matrix`] calls — and to a
+/// [`Parallelism::Sequential`] run.
+fn run_congestion_matrices(
+    congestions: &[Congestion],
+    shape: Shape,
+    parallelism: Parallelism,
+) -> Vec<BTreeMap<String, Vec<RunReport>>> {
+    let workloads: Vec<Workload> = congestions
+        .iter()
+        .map(|&congestion| workload_for(congestion, shape))
         .collect();
-    let reports = parallel_map(parallelism, &jobs, |&(kind, seq)| {
-        run_sequence(kind, &workload, &workload.sequences[seq])
+    let jobs: Vec<(usize, SchedulerKind, usize)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, workload)| {
+            SchedulerKind::all()
+                .into_iter()
+                .flat_map(move |kind| (0..workload.sequences.len()).map(move |seq| (ci, kind, seq)))
+        })
+        .collect();
+    let reports = parallel_map(parallelism, &jobs, |&(ci, kind, seq)| {
+        run_sequence(kind, &workloads[ci], &workloads[ci].sequences[seq])
     });
-    let mut matrix: BTreeMap<String, Vec<RunReport>> = BTreeMap::new();
-    for (&(kind, _), report) in jobs.iter().zip(reports) {
-        matrix
+    let mut matrices: Vec<BTreeMap<String, Vec<RunReport>>> =
+        congestions.iter().map(|_| BTreeMap::new()).collect();
+    for (&(ci, kind, _), report) in jobs.iter().zip(reports) {
+        matrices[ci]
             .entry(kind.label().to_string())
             .or_default()
             .push(report);
     }
-    matrix
+    matrices
 }
 
 // ---------------------------------------------------------------------------
@@ -134,9 +172,20 @@ pub struct Fig5Row {
 /// Regenerates Figure 5: average relative response-time reduction (normalised to
 /// the Baseline) for all six systems under the four congestion conditions.
 pub fn figure5(shape: Shape) -> Vec<Fig5Row> {
+    figure5_with(shape, Parallelism::Auto)
+}
+
+/// [`figure5`] with an explicit execution mode (the determinism tests compare
+/// the two paths).
+///
+/// All four congestion conditions are folded into one global
+/// (congestion × scheduler × sequence) job list and fanned out through a single
+/// [`parallel_map`] call — see [`run_congestion_matrices`].
+pub fn figure5_with(shape: Shape, parallelism: Parallelism) -> Vec<Fig5Row> {
+    let congestions = Congestion::all();
+    let matrices = run_congestion_matrices(&congestions, shape, parallelism);
     let mut rows = Vec::new();
-    for congestion in Congestion::all() {
-        let matrix = run_matrix(congestion, shape);
+    for (congestion, matrix) in congestions.iter().zip(&matrices) {
         let baseline_mean = pooled_mean_response_ms(&matrix[SchedulerKind::Baseline.label()]);
         for kind in SchedulerKind::all() {
             let mean = pooled_mean_response_ms(&matrix[kind.label()]);
@@ -197,13 +246,23 @@ pub struct Fig6Row {
 /// Regenerates Figure 6: P95/P99 tail response time normalised to the Baseline for
 /// the Standard, Stress and Real-time conditions.
 pub fn figure6(shape: Shape) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for congestion in [
+    figure6_with(shape, Parallelism::Auto)
+}
+
+/// [`figure6`] with an explicit execution mode (the determinism tests compare
+/// the two paths).
+///
+/// Like [`figure5_with`], the three congestion conditions share one global job
+/// list through a single [`parallel_map`] call.
+pub fn figure6_with(shape: Shape, parallelism: Parallelism) -> Vec<Fig6Row> {
+    let congestions = [
         Congestion::Standard,
         Congestion::Stress,
         Congestion::RealTime,
-    ] {
-        let matrix = run_matrix(congestion, shape);
+    ];
+    let matrices = run_congestion_matrices(&congestions, shape, parallelism);
+    let mut rows = Vec::new();
+    for (congestion, matrix) in congestions.iter().zip(&matrices) {
         for (label, q) in [("P95", 0.95), ("P99", 0.99)] {
             let baseline_tail = pooled_percentile_ms(&matrix[SchedulerKind::Baseline.label()], q);
             for kind in SchedulerKind::all() {
@@ -583,6 +642,21 @@ pub fn hot_path_run(workload: &Workload) -> HotPathStats {
     }
 }
 
+/// Path of the committed hot-path baseline at the repository root.
+///
+/// Shared by the `hot_path` Criterion bench (which refreshes the file) and the
+/// `bench_compare` CI gate (which reads it), so the two can never drift onto
+/// different files.
+pub fn hot_path_baseline_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json")
+}
+
+/// Writes `stats` to [`hot_path_baseline_path`] in the committed format.
+pub fn write_hot_path_baseline(stats: &HotPathStats) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(stats).expect("throughput serialises");
+    std::fs::write(hot_path_baseline_path(), format!("{json}\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +733,50 @@ mod tests {
             serde_json::to_string(&first).expect("serialises"),
             serde_json::to_string(&second).expect("serialises")
         );
+    }
+
+    /// The unified (congestion × scheduler × sequence) fan-out must not change
+    /// results: Figure 5 is byte-identical between sequential, forced-threaded
+    /// and auto execution.
+    #[test]
+    fn figure5_is_byte_identical_between_sequential_and_parallel_runs() {
+        let shape = Shape::quick();
+        let sequential = figure5_with(shape, Parallelism::Sequential);
+        let threaded = figure5_with(shape, Parallelism::Threads(4));
+        let auto = figure5_with(shape, Parallelism::Auto);
+        let serialize = |rows: &Vec<Fig5Row>| serde_json::to_string(rows).expect("serialises");
+        assert_eq!(serialize(&sequential), serialize(&threaded));
+        assert_eq!(serialize(&sequential), serialize(&auto));
+    }
+
+    /// Same for Figure 6 (three congestions × two percentiles).
+    #[test]
+    fn figure6_is_byte_identical_between_sequential_and_parallel_runs() {
+        let shape = Shape::quick();
+        let sequential = figure6_with(shape, Parallelism::Sequential);
+        let threaded = figure6_with(shape, Parallelism::Threads(4));
+        let auto = figure6_with(shape, Parallelism::Auto);
+        let serialize = |rows: &Vec<Fig6Row>| serde_json::to_string(rows).expect("serialises");
+        assert_eq!(serialize(&sequential), serialize(&threaded));
+        assert_eq!(serialize(&sequential), serialize(&auto));
+    }
+
+    /// The global fan-out regroups per congestion exactly as the per-congestion
+    /// matrix API does.
+    #[test]
+    fn unified_fanout_matches_per_congestion_matrices() {
+        let shape = Shape::quick();
+        let unified = run_congestion_matrices(
+            &[Congestion::Loose, Congestion::Stress],
+            shape,
+            Parallelism::Auto,
+        );
+        let loose = run_matrix_with(Congestion::Loose, shape, Parallelism::Sequential);
+        let stress = run_matrix_with(Congestion::Stress, shape, Parallelism::Sequential);
+        let serialize =
+            |m: &BTreeMap<String, Vec<RunReport>>| serde_json::to_string(m).expect("serialises");
+        assert_eq!(serialize(&unified[0]), serialize(&loose));
+        assert_eq!(serialize(&unified[1]), serialize(&stress));
     }
 
     #[test]

@@ -54,6 +54,21 @@
 //! [`SharingSimulator::slots`] and panics on any divergence; debug builds run it
 //! after every event, and the property tests drive it explicitly via
 //! [`SharingSimulator::step`].
+//!
+//! # Allocation-free event spine
+//!
+//! Steady-state simulation performs **zero heap allocations per event**:
+//!
+//! * the [`EventQueue`] is pre-sized at construction with
+//!   [`SharingSimulator::event_queue_capacity`] (arrivals + slots + boards, the
+//!   tight bound on concurrently pending events), so its key heap and payload
+//!   arena never grow — [`SharingSimulator::step`] debug-asserts
+//!   [`SharingSimulator::event_queue_grow_events`] stays `0`;
+//! * [`Trace::log`] takes a `Copy` [`TraceDetail`] payload and bumps a
+//!   fixed-array counter, so a counting-only trace never formats or allocates;
+//! * the launch sweep and the policies reuse scratch buffers
+//!   (`sweep_scratch`, the policies' own buffers) that reach their high-water
+//!   mark during warm-up and are never reallocated afterwards.
 
 pub mod app;
 pub mod slot;
@@ -65,7 +80,7 @@ use versaslot_fpga::board::BoardId;
 use versaslot_fpga::cpu::{CoreAssignment, CpuCore};
 use versaslot_fpga::pcap::SerialServer;
 use versaslot_fpga::slot::{LayoutKind, SlotKind};
-use versaslot_sim::{EventQueue, SimTime, TimeWeightedSeries, Trace, TraceKind};
+use versaslot_sim::{EventQueue, SimTime, TimeWeightedSeries, Trace, TraceDetail, TraceKind};
 use versaslot_workload::{AppArrival, AppId, ApplicationSpec};
 
 use crate::config::SystemConfig;
@@ -255,7 +270,11 @@ impl SharingSimulator {
         }
         let pr_paths = vec![SerialServer::new(); config.boards.len()];
 
-        let mut events = EventQueue::with_capacity(arrivals.len() * 4);
+        let mut events = EventQueue::with_capacity(Self::event_queue_capacity(
+            arrivals.len(),
+            slots.len(),
+            config.boards.len(),
+        ));
         let mut pending_arrivals = BTreeMap::new();
         for arrival in arrivals {
             events.push(arrival.arrival, Event::Arrival(arrival.id));
@@ -463,6 +482,34 @@ impl SharingSimulator {
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events currently pending in the queue.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Upper bound on the number of *concurrently pending* events of a run, used
+    /// to pre-size the [`EventQueue`] arena so the steady state never allocates.
+    ///
+    /// All arrival events are scheduled up front (`num_arrivals`); beyond those,
+    /// every slot has at most one in-flight completion (`PrComplete` while
+    /// reconfiguring *or* `ItemComplete` while busy — the states are exclusive)
+    /// and every board at most one pending `SwitchComplete`.  This bound is much
+    /// tighter than the apps × tasks worst case: pending events are limited by
+    /// the hardware (slots), not by the backlog of work.
+    pub fn event_queue_capacity(num_arrivals: usize, num_slots: usize, num_boards: usize) -> usize {
+        num_arrivals + num_slots + num_boards
+    }
+
+    /// Number of event-queue operations that had to grow a backing store.
+    ///
+    /// Stays `0` for the whole run because [`Self::new`] pre-sizes the queue
+    /// with [`Self::event_queue_capacity`]; [`Self::step`] debug-asserts this
+    /// after every event and the steady-state allocation tests check it in
+    /// release builds too.
+    pub fn event_queue_grow_events(&self) -> u64 {
+        self.events.grow_events()
     }
 
     // ------------------------------------------------------------------
@@ -705,7 +752,7 @@ impl SharingSimulator {
             Some(app_id.0),
             Some(unit_idx as u32),
             Some(self.slots[slot_idx].descriptor.id.0),
-            if queued { "queued behind PCAP" } else { "" },
+            TraceDetail::PrRequest { queued },
         );
         if queued {
             self.trace.log(
@@ -714,7 +761,7 @@ impl SharingSimulator {
                 Some(app_id.0),
                 Some(unit_idx as u32),
                 Some(self.slots[slot_idx].descriptor.id.0),
-                "PR contention",
+                TraceDetail::PrContention,
             );
         }
         self.refresh_utilization();
@@ -748,7 +795,7 @@ impl SharingSimulator {
             Some(app_id.0),
             Some(unit_idx as u32),
             Some(self.slots[slot_idx].descriptor.id.0),
-            "",
+            TraceDetail::None,
         );
         self.refresh_utilization();
         true
@@ -786,6 +833,12 @@ impl SharingSimulator {
         );
         #[cfg(debug_assertions)]
         self.verify_indexes();
+        debug_assert_eq!(
+            self.events.grow_events(),
+            0,
+            "the pre-sized event queue should never grow ({} events pending)",
+            self.events.len()
+        );
         true
     }
 
@@ -835,7 +888,9 @@ impl SharingSimulator {
             Some(id.0),
             None,
             None,
-            spec.name().to_string(),
+            TraceDetail::SuiteApp {
+                suite_index: arrival.app_index as u32,
+            },
         );
         self.apps.insert(id, app);
         self.index_app_arrived(id);
@@ -859,7 +914,7 @@ impl SharingSimulator {
             Some(app.0),
             Some(unit as u32),
             Some(self.slots[slot_idx].descriptor.id.0),
-            "",
+            TraceDetail::None,
         );
         self.refresh_utilization();
     }
@@ -891,7 +946,7 @@ impl SharingSimulator {
             Some(app_id.0),
             Some(unit_idx as u32),
             Some(self.slots[slot_idx].descriptor.id.0),
-            "",
+            TraceDetail::None,
         );
 
         if unit_finished {
@@ -904,7 +959,7 @@ impl SharingSimulator {
                 Some(app_id.0),
                 Some(unit_idx as u32),
                 Some(self.slots[slot_idx].descriptor.id.0),
-                format!("{batch} items"),
+                TraceDetail::BatchDone { items: batch },
             );
         } else {
             self.slots[slot_idx].state = SlotState::Loaded {
@@ -926,7 +981,7 @@ impl SharingSimulator {
                 Some(app_id.0),
                 None,
                 None,
-                "",
+                TraceDetail::None,
             );
             self.candidate_queue_updated();
         }
@@ -948,7 +1003,9 @@ impl SharingSimulator {
             None,
             None,
             None,
-            format!("switch to board {board} complete"),
+            TraceDetail::SwitchComplete {
+                board: board as u32,
+            },
         );
     }
 
@@ -1014,7 +1071,7 @@ impl SharingSimulator {
                 Some(app_id.0),
                 Some(unit_idx as u32),
                 Some(self.slots[slot_idx].descriptor.id.0),
-                "scheduler core suspended",
+                TraceDetail::SchedulerSuspended,
             );
         }
 
@@ -1030,7 +1087,7 @@ impl SharingSimulator {
             Some(app_id.0),
             Some(unit_idx as u32),
             Some(self.slots[slot_idx].descriptor.id.0),
-            "",
+            TraceDetail::None,
         );
     }
 
@@ -1137,7 +1194,11 @@ impl SharingSimulator {
             None,
             None,
             None,
-            format!("to {target} ({migrated_apps} apps, {overhead})"),
+            TraceDetail::SwitchTriggered {
+                board: target_board as u32,
+                migrated_apps,
+                overhead,
+            },
         );
         self.trace.log(
             self.now,
@@ -1145,7 +1206,9 @@ impl SharingSimulator {
             None,
             None,
             None,
-            format!("{migrated_apps} applications"),
+            TraceDetail::Migrated {
+                apps: migrated_apps,
+            },
         );
         true
     }
@@ -1340,6 +1403,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn steady_state_event_queue_never_allocates() {
+        // Release builds skip the debug assert in `step`, so check the
+        // allocation-free property explicitly: a counting-only run (the
+        // benchmark configuration) must never grow the pre-sized event queue.
+        let config = SystemConfig::single_board(BoardSpec::zcu216_big_little());
+        let arrivals: Vec<AppArrival> = (0..12)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    BenchmarkApp::ImageCompression.suite_index(),
+                    6,
+                    SimTime::from_millis(u64::from(i) * 40),
+                )
+            })
+            .collect();
+        let mut sim = SharingSimulator::new(config, BenchmarkApp::suite(), &arrivals);
+        assert!(!sim.trace().is_recording(), "benchmarks run counting-only");
+        let mut policy = VersaSlotPolicy::new();
+        let report = sim.run(&mut policy);
+        assert_eq!(report.completed(), 12);
+        assert_eq!(
+            sim.event_queue_grow_events(),
+            0,
+            "event queue reallocated mid-run"
+        );
+        assert!(sim.trace().events().is_empty());
+        assert!(sim.trace().total() > 0, "counters still maintained");
+    }
+
+    #[test]
+    fn event_capacity_hint_is_a_true_pending_bound() {
+        // Drive a switching cluster (the busiest event mix: arrivals, PRs, item
+        // completions and switch completions) and check the pending-event count
+        // never exceeds the documented bound.
+        let config = SystemConfig::switching_cluster(
+            BoardSpec::zcu216_only_little(),
+            BoardSpec::zcu216_big_little(),
+        )
+        .with_switching(crate::config::SwitchingConfig::default());
+        let arrivals: Vec<AppArrival> = (0..16)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    BenchmarkApp::LeNet.suite_index(),
+                    4,
+                    SimTime::from_millis(u64::from(i) * 10),
+                )
+            })
+            .collect();
+        let slots = config.boards.iter().map(|b| b.layout.slots().len()).sum();
+        let bound = SharingSimulator::event_queue_capacity(arrivals.len(), slots, 2);
+        let mut sim = SharingSimulator::new(config, BenchmarkApp::suite(), &arrivals);
+        let mut policy = VersaSlotPolicy::new();
+        loop {
+            assert!(
+                sim.events_pending() <= bound,
+                "{} pending events exceed the bound {bound}",
+                sim.events_pending()
+            );
+            if !sim.step(&mut policy) {
+                break;
+            }
+        }
+        assert_eq!(sim.event_queue_grow_events(), 0);
     }
 
     #[test]

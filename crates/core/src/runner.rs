@@ -6,6 +6,13 @@
 //! workload sequence under one system and [`run_workload`] does so for a whole
 //! generated workload.  [`ClusterMode`] and [`run_cluster_sequence`] cover the
 //! cross-board switching experiment.
+//!
+//! Every simulator these runners construct starts pre-sized:
+//! [`SharingSimulator::new`] derives an event-queue capacity from the arrival
+//! count and the board's slot count
+//! ([`SharingSimulator::event_queue_capacity`]), so a steady-state run never
+//! allocates on the event path — see `steady_state_runs_start_pre_sized` in
+//! this module's tests.
 
 use serde::{Deserialize, Serialize};
 use versaslot_fpga::board::BoardSpec;
@@ -320,6 +327,60 @@ mod tests {
                     sim.verify_indexes();
                 }
             }
+        }
+    }
+
+    /// Satellite of the allocation-free spine: every system the experiment
+    /// harness can construct starts with an event queue pre-sized to the
+    /// engine-derived capacity hint, so no run ever grows it.
+    #[test]
+    fn steady_state_runs_start_pre_sized() {
+        let workload = tiny_workload(Congestion::Stress);
+        for kind in SchedulerKind::all() {
+            let Some(mut policy) = kind.policy() else {
+                continue; // the baseline bypasses the sharing engine
+            };
+            let config = SystemConfig::single_board(kind.board());
+            let mut sim = SharingSimulator::new(
+                config,
+                workload.suite.clone(),
+                &workload.sequences[0].arrivals,
+            );
+            sim.run(policy.as_mut());
+            assert_eq!(
+                sim.event_queue_grow_events(),
+                0,
+                "{kind:?} grew its event queue"
+            );
+        }
+
+        let switching = generate_workload(&WorkloadConfig::paper_switching().with_shape(1, 12));
+        for mode in ClusterMode::all() {
+            let config = match mode {
+                ClusterMode::OnlyLittle => {
+                    SystemConfig::single_board(BoardSpec::zcu216_only_little())
+                }
+                ClusterMode::OnlyBigLittle => {
+                    SystemConfig::single_board(BoardSpec::zcu216_big_little())
+                }
+                ClusterMode::Switching => SystemConfig::switching_cluster(
+                    BoardSpec::zcu216_only_little(),
+                    BoardSpec::zcu216_big_little(),
+                )
+                .with_switching(SwitchingConfig::default()),
+            };
+            let mut sim = SharingSimulator::new(
+                config,
+                switching.suite.clone(),
+                &switching.sequences[0].arrivals,
+            );
+            let mut policy = VersaSlotPolicy::new();
+            sim.run(&mut policy);
+            assert_eq!(
+                sim.event_queue_grow_events(),
+                0,
+                "{mode:?} grew its event queue"
+            );
         }
     }
 

@@ -1,9 +1,25 @@
-//! Time-ordered event queue.
+//! Time-ordered event queue backed by a slab arena.
 //!
 //! The simulation advances by repeatedly popping the earliest pending event.  The
 //! queue guarantees a *deterministic* order: events scheduled for the same instant
 //! are delivered in the order they were pushed (FIFO), so a given seed always
 //! produces the same trace — a property the experiment harnesses rely on.
+//!
+//! # Allocation behaviour
+//!
+//! The queue is split into two pre-sizable structures so the steady state of a
+//! simulation run performs **zero heap allocations per event**:
+//!
+//! * a [`BinaryHeap`] of small `Copy` *keys* — `(SimTime, seq, u32 arena index)` —
+//!   that only orders events, and
+//! * a slab **arena** of event payloads, recycled through a free list: popping an
+//!   event returns its slot to the free list, and the next push reuses it.
+//!
+//! [`EventQueue::with_capacity`] pre-sizes the heap, the arena and the free list;
+//! once the pending-event count stays at or below that capacity, neither
+//! structure ever reallocates.  [`EventQueue::grow_events`] counts the
+//! operations that *did* have to grow a backing store, which lets callers (and
+//! the engine's debug assertions) verify a run stayed allocation-free.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -13,7 +29,8 @@ use crate::time::SimTime;
 /// A time-ordered queue of simulation events.
 ///
 /// Ties on the timestamp are broken by insertion order, which makes the simulation
-/// fully deterministic.
+/// fully deterministic.  Payloads live in a free-list-recycling arena; the binary
+/// heap only orders lightweight keys (see the [module docs](self)).
 ///
 /// # Example
 ///
@@ -30,33 +47,42 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Ordering keys; payloads are indexed into `arena` by `Key::slot`.
+    heap: BinaryHeap<Key>,
+    /// Slab of event payloads.  `Some` while the event is pending, `None` once
+    /// popped (the index then sits on `free`).
+    arena: Vec<Option<E>>,
+    /// Indices of vacant arena slots, reused LIFO by the next push.
+    free: Vec<u32>,
     next_seq: u64,
     scheduled: u64,
+    grow_events: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<E> {
+/// Heap entry: everything needed to order an event, with the payload left in
+/// the arena so the heap's sift operations move 20 bytes instead of a payload.
+#[derive(Debug, Clone, Copy)]
+struct Key {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Key {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest time (and, within a
         // time, the lowest sequence number) surfaces first.
@@ -69,20 +95,28 @@ impl<E> Ord for Entry<E> {
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
+    ///
+    /// Equivalent to [`EventQueue::with_capacity`]`(0)`: the backing stores grow
+    /// on demand (and [`Self::grow_events`] counts every growth).  Long runs
+    /// should pre-size with `with_capacity`.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            scheduled: 0,
-        }
+        EventQueue::with_capacity(0)
     }
 
-    /// Creates an empty queue with space for `capacity` events.
+    /// Creates an empty queue pre-sized for `capacity` *concurrently pending*
+    /// events.
+    ///
+    /// As long as [`Self::len`] never exceeds `capacity`, no push or pop will
+    /// ever allocate — the heap, the arena and the free list are all sized up
+    /// front.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
             next_seq: 0,
             scheduled: 0,
+            grow_events: 0,
         }
     }
 
@@ -91,19 +125,49 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(
+                    self.arena[slot as usize].is_none(),
+                    "free list pointed at an occupied arena slot"
+                );
+                self.arena[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                if self.arena.len() == self.arena.capacity() {
+                    self.grow_events += 1;
+                }
+                let slot = u32::try_from(self.arena.len()).expect("arena indices fit in u32");
+                self.arena.push(Some(event));
+                slot
+            }
+        };
+        if self.heap.len() == self.heap.capacity() {
+            self.grow_events += 1;
+        }
+        self.heap.push(Key { time, seq, slot });
     }
 
     /// Removes and returns the earliest pending event together with its timestamp.
     ///
-    /// Returns `None` when the queue is empty.
+    /// Returns `None` when the queue is empty.  The event's arena slot goes back
+    /// on the free list for the next push to reuse.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|entry| (entry.time, entry.event))
+        let key = self.heap.pop()?;
+        let event = self.arena[key.slot as usize]
+            .take()
+            .expect("heap key pointed at a vacant arena slot");
+        if self.free.len() == self.free.capacity() {
+            self.grow_events += 1;
+        }
+        self.free.push(key.slot);
+        Some((key.time, event))
     }
 
     /// Returns the timestamp of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|entry| entry.time)
+        self.heap.peek().map(|key| key.time)
     }
 
     /// Returns the number of pending events.
@@ -121,9 +185,63 @@ impl<E> EventQueue<E> {
         self.scheduled
     }
 
-    /// Removes all pending events.
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity().min(self.arena.capacity())
+    }
+
+    /// Number of pushes/pops that had to grow a backing store (heap, arena or
+    /// free list).
+    ///
+    /// Stays `0` for the lifetime of a queue created with
+    /// [`Self::with_capacity`] whose pending-event count never exceeded that
+    /// capacity — the property the engine's steady-state allocation check
+    /// asserts.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Removes all pending events.  Keeps the allocated capacity.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.arena.clear();
+        self.free.clear();
+    }
+
+    /// Checks the arena/free-list bookkeeping: every arena slot is referenced by
+    /// exactly one heap key or one free-list entry (no leaks, no double frees).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the invariant is violated.  Used by the property tests;
+    /// cheap enough (O(pending)) to call from other test suites too.
+    pub fn assert_arena_invariants(&self) {
+        assert_eq!(
+            self.heap.len() + self.free.len(),
+            self.arena.len(),
+            "arena slots leaked or double-freed"
+        );
+        let mut referenced = vec![false; self.arena.len()];
+        for key in self.heap.iter() {
+            let idx = key.slot as usize;
+            assert!(idx < self.arena.len(), "heap key out of arena bounds");
+            assert!(!referenced[idx], "arena slot referenced twice");
+            assert!(
+                self.arena[idx].is_some(),
+                "heap key points at a vacant slot"
+            );
+            referenced[idx] = true;
+        }
+        for &slot in &self.free {
+            let idx = slot as usize;
+            assert!(idx < self.arena.len(), "free-list entry out of bounds");
+            assert!(!referenced[idx], "arena slot double-freed");
+            assert!(
+                self.arena[idx].is_none(),
+                "free-list entry points at an occupied slot"
+            );
+            referenced[idx] = true;
+        }
     }
 }
 
@@ -212,6 +330,46 @@ mod tests {
         assert_eq!(queue.peek_time(), Some(SimTime::from_micros(1)));
     }
 
+    #[test]
+    fn pre_sized_queue_never_grows() {
+        // 8 pending events at most; cycle far more than 8 through the queue.
+        let mut queue = EventQueue::with_capacity(8);
+        for round in 0..50u64 {
+            for i in 0..8u64 {
+                queue.push(SimTime::from_micros(round * 100 + i), i);
+            }
+            for _ in 0..8 {
+                queue.pop().expect("queue holds 8 events");
+            }
+        }
+        assert_eq!(queue.grow_events(), 0);
+        assert_eq!(queue.total_scheduled(), 400);
+        queue.assert_arena_invariants();
+    }
+
+    #[test]
+    fn unsized_queue_counts_growth() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::ZERO, 1);
+        assert!(
+            queue.grow_events() > 0,
+            "growing from capacity 0 is counted"
+        );
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut queue = EventQueue::with_capacity(2);
+        queue.push(SimTime::from_micros(1), "a");
+        queue.push(SimTime::from_micros(2), "b");
+        queue.pop();
+        // The slot vacated by "a" must be reused: the arena stays at 2 slots.
+        queue.push(SimTime::from_micros(3), "c");
+        assert_eq!(queue.arena.len(), 2);
+        assert_eq!(queue.grow_events(), 0);
+        queue.assert_arena_invariants();
+    }
+
     proptest! {
         /// Popping the full queue always yields non-decreasing timestamps and, within
         /// equal timestamps, preserves insertion order.
@@ -248,6 +406,85 @@ mod tests {
                 }
                 prop_assert_eq!(queue.len(), expected);
             }
+        }
+
+        /// Random push/pop interleavings: pops come out in (time, FIFO-within-time)
+        /// order relative to the *currently pending* set, and the arena free list
+        /// never leaks or double-frees a slot at any point.
+        #[test]
+        fn prop_interleaved_ops_keep_arena_consistent(
+            ops in prop::collection::vec((prop::bool::ANY, 0u64..50), 0..400),
+        ) {
+            let mut queue = EventQueue::with_capacity(4);
+            // Mirror model: the pending set as (time, seq) pairs.
+            let mut pending: Vec<(u64, u64)> = Vec::new();
+            let mut seq = 0u64;
+            for &(push, t) in &ops {
+                if push {
+                    queue.push(SimTime::from_micros(t), seq);
+                    pending.push((t, seq));
+                    seq += 1;
+                } else {
+                    let popped = queue.pop();
+                    // The model's minimum by (time, seq) must match.
+                    let expected = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(time, s))| (time, s))
+                        .map(|(i, _)| i);
+                    match (popped, expected) {
+                        (Some((time, event_seq)), Some(idx)) => {
+                            let (model_time, model_seq) = pending.remove(idx);
+                            prop_assert_eq!(time, SimTime::from_micros(model_time));
+                            prop_assert_eq!(event_seq, model_seq);
+                        }
+                        (None, None) => {}
+                        (popped, expected) => {
+                            prop_assert!(false, "queue/model diverged: {popped:?} vs {expected:?}");
+                        }
+                    }
+                }
+                queue.assert_arena_invariants();
+                prop_assert_eq!(queue.len(), pending.len());
+            }
+            // Drain: full order check against the sorted model.
+            pending.sort_unstable();
+            for &(t, s) in &pending {
+                let (time, event_seq) = queue.pop().expect("queue matches model size");
+                prop_assert_eq!(time, SimTime::from_micros(t));
+                prop_assert_eq!(event_seq, s);
+                queue.assert_arena_invariants();
+            }
+            prop_assert!(queue.is_empty());
+        }
+
+        /// A queue pre-sized to the high-water mark of an interleaving never grows.
+        #[test]
+        fn prop_pre_sized_interleavings_never_allocate(
+            ops in prop::collection::vec((prop::bool::ANY, 0u64..40), 0..300),
+        ) {
+            // First pass: find the high-water mark of the interleaving.
+            let mut depth = 0usize;
+            let mut high_water = 0usize;
+            for &(push, _) in &ops {
+                if push {
+                    depth += 1;
+                    high_water = high_water.max(depth);
+                } else {
+                    depth = depth.saturating_sub(1);
+                }
+            }
+            // Second pass: replay against a queue pre-sized to that mark.
+            let mut queue = EventQueue::with_capacity(high_water);
+            for (i, &(push, t)) in ops.iter().enumerate() {
+                if push {
+                    queue.push(SimTime::from_micros(t), i);
+                } else {
+                    queue.pop();
+                }
+            }
+            prop_assert_eq!(queue.grow_events(), 0);
+            queue.assert_arena_invariants();
         }
     }
 }

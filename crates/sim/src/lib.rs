@@ -7,10 +7,13 @@
 //!
 //! * simulated time ([`SimTime`], [`SimDuration`]) with microsecond resolution,
 //! * a generic time-ordered [`EventQueue`] with deterministic FIFO tie-breaking,
+//!   backed by a free-list slab arena so a pre-sized queue never allocates in
+//!   steady state (see the [`event`] module docs),
 //! * a seedable, reproducible random number generator ([`SimRng`]),
 //! * summary statistics used by the experiment harnesses ([`stats`]),
 //! * time-weighted series for utilization accounting ([`series`]), and
-//! * a lightweight structured trace ([`trace`]).
+//! * a lightweight structured trace ([`trace`]) whose typed [`TraceDetail`]
+//!   payloads and fixed-array counters keep logging allocation-free.
 //!
 //! # Example
 //!
@@ -44,4 +47,4 @@ pub use rng::SimRng;
 pub use series::TimeWeightedSeries;
 pub use stats::{percentile, Summary, SummaryBuilder};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind};

@@ -5,12 +5,27 @@
 //! scheduler is much easier with a timeline of what happened.  [`Trace`] is a
 //! lightweight append-only log of [`TraceEvent`]s that both needs are served by.
 //! Recording can be disabled entirely for large benchmark runs.
+//!
+//! # Allocation behaviour
+//!
+//! Logging is allocation-free on the hot path:
+//!
+//! * event details are a typed, `Copy` [`TraceDetail`] enum — structured fields
+//!   (batch counts, board ids, migration overheads) that are only rendered to
+//!   text on `Display` / serialization, never at log time, and
+//! * the per-kind counters are a fixed `[u64; TraceKind::COUNT]` array indexed
+//!   by discriminant, not a hash map.
+//!
+//! A counting-only trace ([`Trace::counting_only`]) therefore never touches the
+//! heap, no matter how many events are logged.  Only a *recording* trace stores
+//! event bodies, growing its `Vec` (pre-sizable via
+//! [`Trace::recording_with_capacity`]).
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// The category of a trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,6 +60,35 @@ pub enum TraceKind {
     Note,
 }
 
+impl TraceKind {
+    /// Number of trace-event categories (the size of the [`Trace`] counter
+    /// array).
+    pub const COUNT: usize = 14;
+
+    /// All categories, in discriminant order.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::AppArrived,
+        TraceKind::AppAllocated,
+        TraceKind::AppCompleted,
+        TraceKind::PrRequested,
+        TraceKind::PrStarted,
+        TraceKind::PrCompleted,
+        TraceKind::BatchLaunched,
+        TraceKind::BatchCompleted,
+        TraceKind::TaskCompleted,
+        TraceKind::TaskBlocked,
+        TraceKind::SlotPreempted,
+        TraceKind::SwitchTriggered,
+        TraceKind::AppMigrated,
+        TraceKind::Note,
+    ];
+
+    /// The category's discriminant, used to index the counter array.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl fmt::Display for TraceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -67,6 +111,91 @@ impl fmt::Display for TraceKind {
     }
 }
 
+/// Typed, `Copy` detail payload of a trace event.
+///
+/// Carries the structured fields the old free-form `String` detail used to
+/// describe; the text form is only produced on [`fmt::Display`] (or via
+/// [`TraceEvent::detail_string`]), so logging never formats or allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum TraceDetail {
+    /// No extra detail.
+    #[default]
+    None,
+    /// A PR request was issued; `queued` is set when it had to wait behind an
+    /// in-flight PR on the board's serial PR path.
+    PrRequest {
+        /// Whether the request queued behind the PCAP.
+        queued: bool,
+    },
+    /// A task was blocked by PR contention on the serial PR path.
+    PrContention,
+    /// A launch was delayed because the scheduler core was suspended (e.g. by a
+    /// PCAP load in a single-core system).
+    SchedulerSuspended,
+    /// The arriving application's index into the benchmark suite.
+    SuiteApp {
+        /// Index of the application's specification in the suite.
+        suite_index: u32,
+    },
+    /// A unit finished its whole batch.
+    BatchDone {
+        /// Number of items in the batch.
+        items: u32,
+    },
+    /// A cross-board switch was triggered.
+    SwitchTriggered {
+        /// Index of the board being switched to.
+        board: u32,
+        /// Number of applications migrated along with the switch.
+        migrated_apps: u32,
+        /// Migration overhead of the switch.
+        overhead: SimDuration,
+    },
+    /// Applications were migrated to another board.
+    Migrated {
+        /// Number of migrated applications.
+        apps: u32,
+    },
+    /// A cross-board switch completed and the target board became active.
+    SwitchComplete {
+        /// Index of the board that became active.
+        board: u32,
+    },
+}
+
+impl TraceDetail {
+    /// Returns `true` when there is no detail payload.
+    pub fn is_none(&self) -> bool {
+        matches!(self, TraceDetail::None)
+            || matches!(self, TraceDetail::PrRequest { queued: false })
+    }
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::None | TraceDetail::PrRequest { queued: false } => Ok(()),
+            TraceDetail::PrRequest { queued: true } => f.write_str("queued behind PCAP"),
+            TraceDetail::PrContention => f.write_str("PR contention"),
+            TraceDetail::SchedulerSuspended => f.write_str("scheduler core suspended"),
+            TraceDetail::SuiteApp { suite_index } => write!(f, "suite app #{suite_index}"),
+            TraceDetail::BatchDone { items } => write!(f, "{items} items"),
+            TraceDetail::SwitchTriggered {
+                board,
+                migrated_apps,
+                overhead,
+            } => write!(
+                f,
+                "switch to board {board} ({migrated_apps} apps, {overhead})"
+            ),
+            TraceDetail::Migrated { apps } => write!(f, "{apps} applications"),
+            TraceDetail::SwitchComplete { board } => {
+                write!(f, "switch to board {board} complete")
+            }
+        }
+    }
+}
+
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
@@ -80,8 +209,16 @@ pub struct TraceEvent {
     pub task: Option<u32>,
     /// Identifier of the slot involved, if any.
     pub slot: Option<u32>,
-    /// Human-readable detail.
-    pub detail: String,
+    /// Structured detail payload (see [`TraceDetail`]).
+    pub detail: TraceDetail,
+}
+
+impl TraceEvent {
+    /// The detail rendered as text — the shim that replaces the old `String`
+    /// detail field for human-facing consumers.
+    pub fn detail_string(&self) -> String {
+        self.detail.to_string()
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -96,7 +233,7 @@ impl fmt::Display for TraceEvent {
         if let Some(slot) = self.slot {
             write!(f, " slot={slot}")?;
         }
-        if !self.detail.is_empty() {
+        if !self.detail.is_none() {
             write!(f, " — {}", self.detail)?;
         }
         Ok(())
@@ -106,33 +243,50 @@ impl fmt::Display for TraceEvent {
 /// An append-only log of simulation events with per-kind counters.
 ///
 /// Counters are always maintained (they are cheap and D_switch depends on them);
-/// full event bodies are only stored when recording is enabled.
+/// full event bodies are only stored when recording is enabled.  See the
+/// [module docs](self) for the allocation guarantees.
 ///
 /// # Example
 ///
 /// ```
-/// use versaslot_sim::{SimTime, Trace, TraceKind};
+/// use versaslot_sim::{SimTime, Trace, TraceDetail, TraceKind};
 ///
 /// let mut trace = Trace::recording();
-/// trace.log(SimTime::from_millis(1), TraceKind::PrRequested, Some(0), Some(0), Some(2), "load T1");
-/// trace.log(SimTime::from_millis(2), TraceKind::TaskBlocked, Some(1), Some(0), None, "PCAP busy");
+/// trace.log(
+///     SimTime::from_millis(1),
+///     TraceKind::PrRequested,
+///     Some(0),
+///     Some(0),
+///     Some(2),
+///     TraceDetail::PrRequest { queued: false },
+/// );
+/// trace.log(
+///     SimTime::from_millis(2),
+///     TraceKind::TaskBlocked,
+///     Some(1),
+///     Some(0),
+///     None,
+///     TraceDetail::PrContention,
+/// );
 /// assert_eq!(trace.count(TraceKind::TaskBlocked), 1);
 /// assert_eq!(trace.events().len(), 2);
+/// assert_eq!(trace.events()[1].detail_string(), "PR contention");
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     record_events: bool,
     events: Vec<TraceEvent>,
-    counts: std::collections::HashMap<TraceKind, u64>,
+    counts: [u64; TraceKind::COUNT],
 }
 
 impl Trace {
-    /// Creates a trace that only maintains counters (no event bodies).
+    /// Creates a trace that only maintains counters (no event bodies).  Never
+    /// allocates, no matter how many events are logged.
     pub fn counting_only() -> Self {
         Trace {
             record_events: false,
             events: Vec::new(),
-            counts: std::collections::HashMap::new(),
+            counts: [0; TraceKind::COUNT],
         }
     }
 
@@ -141,7 +295,17 @@ impl Trace {
         Trace {
             record_events: true,
             events: Vec::new(),
-            counts: std::collections::HashMap::new(),
+            counts: [0; TraceKind::COUNT],
+        }
+    }
+
+    /// Creates a recording trace pre-sized for `capacity` event bodies, so runs
+    /// that stay within the estimate don't reallocate the event buffer either.
+    pub fn recording_with_capacity(capacity: usize) -> Self {
+        Trace {
+            record_events: true,
+            events: Vec::with_capacity(capacity),
+            counts: [0; TraceKind::COUNT],
         }
     }
 
@@ -151,6 +315,10 @@ impl Trace {
     }
 
     /// Records an event.
+    ///
+    /// Bumps the kind's counter (an array write) and, only when recording is
+    /// enabled, stores the event body.  `detail` is a `Copy` payload — nothing
+    /// is formatted here.
     pub fn log(
         &mut self,
         time: SimTime,
@@ -158,9 +326,9 @@ impl Trace {
         app: Option<u32>,
         task: Option<u32>,
         slot: Option<u32>,
-        detail: impl Into<String>,
+        detail: TraceDetail,
     ) {
-        *self.counts.entry(kind).or_insert(0) += 1;
+        self.counts[kind.index()] += 1;
         if self.record_events {
             self.events.push(TraceEvent {
                 time,
@@ -168,14 +336,14 @@ impl Trace {
                 app,
                 task,
                 slot,
-                detail: detail.into(),
+                detail,
             });
         }
     }
 
     /// Returns how many events of `kind` were recorded.
     pub fn count(&self, kind: TraceKind) -> u64 {
-        self.counts.get(&kind).copied().unwrap_or(0)
+        self.counts[kind.index()]
     }
 
     /// Returns the stored event bodies (empty when counting only).
@@ -190,13 +358,13 @@ impl Trace {
 
     /// Total number of events recorded (counted), across all kinds.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// Clears stored events and counters.
     pub fn clear(&mut self) {
         self.events.clear();
-        self.counts.clear();
+        self.counts = [0; TraceKind::COUNT];
     }
 }
 
@@ -215,7 +383,7 @@ mod tests {
                 None,
                 None,
                 None,
-                "",
+                TraceDetail::None,
             );
         }
         assert_eq!(trace.count(TraceKind::PrCompleted), 5);
@@ -233,7 +401,7 @@ mod tests {
             Some(3),
             None,
             None,
-            "app 3",
+            TraceDetail::SuiteApp { suite_index: 2 },
         );
         trace.log(
             SimTime::from_millis(2),
@@ -241,7 +409,7 @@ mod tests {
             Some(3),
             None,
             None,
-            "done",
+            TraceDetail::None,
         );
         let events = trace.events();
         assert_eq!(events.len(), 2);
@@ -253,7 +421,14 @@ mod tests {
     #[test]
     fn clear_resets_everything() {
         let mut trace = Trace::recording();
-        trace.log(SimTime::ZERO, TraceKind::Note, None, None, None, "x");
+        trace.log(
+            SimTime::ZERO,
+            TraceKind::Note,
+            None,
+            None,
+            None,
+            TraceDetail::None,
+        );
         trace.clear();
         assert_eq!(trace.total(), 0);
         assert!(trace.events().is_empty());
@@ -267,12 +442,60 @@ mod tests {
             app: Some(2),
             task: Some(1),
             slot: Some(4),
-            detail: "PCAP busy".to_string(),
+            detail: TraceDetail::PrContention,
         };
         let text = event.to_string();
         assert!(text.contains("task-blocked"));
         assert!(text.contains("app=2"));
         assert!(text.contains("slot=4"));
-        assert!(text.contains("PCAP busy"));
+        assert!(text.contains("PR contention"));
+    }
+
+    #[test]
+    fn kind_indexes_cover_the_counter_array_exactly() {
+        for (expected, kind) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), expected);
+        }
+        assert_eq!(TraceKind::ALL.len(), TraceKind::COUNT);
+        // Every kind's counter is reachable.
+        let mut trace = Trace::counting_only();
+        for kind in TraceKind::ALL {
+            trace.log(SimTime::ZERO, kind, None, None, None, TraceDetail::None);
+        }
+        for kind in TraceKind::ALL {
+            assert_eq!(trace.count(kind), 1, "{kind}");
+        }
+        assert_eq!(trace.total(), TraceKind::COUNT as u64);
+    }
+
+    #[test]
+    fn details_render_lazily_with_structured_fields() {
+        assert_eq!(TraceDetail::None.to_string(), "");
+        assert_eq!(TraceDetail::PrRequest { queued: false }.to_string(), "");
+        assert_eq!(
+            TraceDetail::PrRequest { queued: true }.to_string(),
+            "queued behind PCAP"
+        );
+        assert_eq!(TraceDetail::BatchDone { items: 12 }.to_string(), "12 items");
+        assert_eq!(
+            TraceDetail::SwitchTriggered {
+                board: 1,
+                migrated_apps: 7,
+                overhead: SimDuration::from_millis(2),
+            }
+            .to_string(),
+            format!(
+                "switch to board 1 (7 apps, {})",
+                SimDuration::from_millis(2)
+            )
+        );
+        assert_eq!(
+            TraceDetail::Migrated { apps: 3 }.to_string(),
+            "3 applications"
+        );
+        assert_eq!(
+            TraceDetail::SwitchComplete { board: 0 }.to_string(),
+            "switch to board 0 complete"
+        );
     }
 }

@@ -9,7 +9,7 @@ use versaslot::core::config::SystemConfig;
 use versaslot::core::engine::SharingSimulator;
 use versaslot::core::policy::versaslot::VersaSlotPolicy;
 use versaslot::fpga::board::BoardSpec;
-use versaslot::sim::{SimDuration, SimTime};
+use versaslot::sim::{SimDuration, SimTime, TraceKind};
 use versaslot::workload::benchmarks::BenchmarkApp;
 use versaslot::workload::{AppArrival, AppId};
 
@@ -37,7 +37,9 @@ fn main() {
     // Little slots) and the dual-core hypervisor.
     let board = BoardSpec::zcu216_big_little();
     let mut simulator = SharingSimulator::new(
-        SystemConfig::single_board(board),
+        // `with_trace` records full event bodies; the detail payloads are typed
+        // (`TraceDetail`) and only rendered to text when printed below.
+        SystemConfig::single_board(board).with_trace(),
         BenchmarkApp::suite(),
         &arrivals,
     );
@@ -69,4 +71,19 @@ fn main() {
         report.blocked_events,
         report.mean_lut_utilization * 100.0
     );
+
+    // The structured trace: per-kind counters plus the first few recorded
+    // events, with their typed details rendered lazily.
+    let trace = simulator.trace();
+    println!(
+        "\ntrace: {} events total ({} PRs completed, {} batches launched, {} tasks blocked)",
+        trace.total(),
+        trace.count(TraceKind::PrCompleted),
+        trace.count(TraceKind::BatchLaunched),
+        trace.count(TraceKind::TaskBlocked),
+    );
+    println!("first events:");
+    for event in trace.events().iter().take(6) {
+        println!("  {event}");
+    }
 }

@@ -117,6 +117,50 @@ fn cluster_switching_mode_is_consistent() {
 }
 
 #[test]
+fn event_spine_stays_allocation_free_across_schedulers() {
+    // The allocation-free spine, end to end: under every sharing scheduler and
+    // congestion condition, the pre-sized event queue never grows and a
+    // counting-only trace stores no bodies (its counters are a fixed array and
+    // its details are `Copy`, so the whole steady-state loop never allocates).
+    use versaslot::core::config::SystemConfig;
+    use versaslot::core::engine::SharingSimulator;
+
+    for congestion in [Congestion::Standard, Congestion::Stress] {
+        let workload = small_workload(congestion);
+        for kind in SchedulerKind::all() {
+            if kind == SchedulerKind::Baseline {
+                continue; // the baseline bypasses the sharing engine
+            }
+            let config = SystemConfig::single_board(kind.board());
+            let mut sim = SharingSimulator::new(
+                config,
+                workload.suite.clone(),
+                &workload.sequences[0].arrivals,
+            );
+            let mut policy = match kind {
+                SchedulerKind::Fcfs => Box::new(versaslot::core::policy::fcfs::FcfsPolicy::new())
+                    as Box<dyn versaslot::core::policy::Policy>,
+                SchedulerKind::RoundRobin => {
+                    Box::new(versaslot::core::policy::round_robin::RoundRobinPolicy::new())
+                }
+                SchedulerKind::Nimblock => {
+                    Box::new(versaslot::core::policy::nimblock::NimblockPolicy::new())
+                }
+                _ => Box::new(versaslot::core::policy::versaslot::VersaSlotPolicy::new()),
+            };
+            sim.run(policy.as_mut());
+            assert_eq!(
+                sim.event_queue_grow_events(),
+                0,
+                "{kind:?} under {congestion:?} reallocated its event queue"
+            );
+            assert!(sim.trace().events().is_empty());
+            assert!(sim.trace().total() > 0);
+        }
+    }
+}
+
+#[test]
 fn figure7_dataset_reproduces_headline_utilization_gains() {
     // +35% LUT / +29% FF on average for the bundled applications (paper abstract).
     let little = versaslot::fpga::board::BoardSpec::zcu216_little_capacity();
