@@ -1,13 +1,15 @@
 //! Hot-path benchmark: one stress-congestion sequence through the sharing
-//! simulator, tracking simulated events per wall-clock second.
+//! simulator plus the service-mode steady state, tracking simulated events per
+//! wall-clock second for both.
 //!
 //! Besides printing Criterion-style samples, the bench writes
-//! `BENCH_hotpath.json` at the repository root so successive PRs can follow the
-//! scheduler hot-path trajectory.
+//! `BENCH_hotpath.json` at the repository root so successive PRs can follow
+//! the scheduler hot-path and service steady-state trajectories.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use versaslot_bench::{
-    hot_path_baseline_path, hot_path_run, hot_path_workload, write_hot_path_baseline,
+    bench_baseline_path, hot_path_run, hot_path_workload, service_steady_state_throughput,
+    write_bench_baseline, BenchBaseline,
 };
 
 fn bench_hot_path(c: &mut Criterion) {
@@ -19,8 +21,15 @@ fn bench_hot_path(c: &mut Criterion) {
         stats.wall_seconds * 1e3,
         stats.events_per_sec
     );
-    if let Err(err) = write_hot_path_baseline(&stats) {
-        eprintln!("could not write {}: {err}", hot_path_baseline_path());
+    let service = service_steady_state_throughput();
+    eprintln!(
+        "service steady state: {} simulated events in {:.1} ms — {:.0} events/s",
+        service.simulated_events,
+        service.wall_seconds * 1e3,
+        service.events_per_sec
+    );
+    if let Err(err) = write_bench_baseline(&BenchBaseline::new(&stats, &service)) {
+        eprintln!("could not write {}: {err}", bench_baseline_path());
     }
 
     let mut group = c.benchmark_group("hot_path");
@@ -28,6 +37,9 @@ fn bench_hot_path(c: &mut Criterion) {
     group.bench_function("stress_sequence", |b| {
         // The workload is pre-generated: only the simulation run is timed.
         b.iter(|| hot_path_run(&workload).simulated_events);
+    });
+    group.bench_function("service_steady_state", |b| {
+        b.iter(|| service_steady_state_throughput().simulated_events);
     });
     group.finish();
 }

@@ -1,6 +1,7 @@
-//! CI gate for the scheduler hot path: rerun the hot-path throughput
-//! measurement and fail when `events_per_sec` regresses more than 15% against
-//! the committed `BENCH_hotpath.json`.
+//! CI gate for the scheduler hot path and the service steady state: rerun both
+//! throughput measurements and fail when `events_per_sec` or
+//! `service_events_per_sec` regresses more than 15% against the committed
+//! `BENCH_hotpath.json`.
 //!
 //! ```text
 //! cargo run -p versaslot-bench --release --bin bench_compare           # gate
@@ -8,14 +9,15 @@
 //! ```
 //!
 //! `--update` additionally rewrites `BENCH_hotpath.json` with the fresh
-//! numbers, which is how a PR commits its refreshed baseline.  The measurement
-//! takes the best of several runs so a single scheduler hiccup on a busy CI
-//! machine doesn't fail the gate spuriously.
+//! numbers, which is how a PR commits its refreshed baseline.  Each
+//! measurement takes the best of several runs so a single scheduler hiccup on
+//! a busy CI machine doesn't fail the gate spuriously.
 
 use std::process::ExitCode;
 
 use versaslot_bench::{
-    hot_path_baseline_path, hot_path_run, hot_path_workload, write_hot_path_baseline, HotPathStats,
+    bench_baseline_path, hot_path_run, hot_path_workload, service_steady_state_throughput,
+    write_bench_baseline, BenchBaseline, HotPathStats,
 };
 
 /// Relative regression that fails the gate (ROADMAP: "regressions on the
@@ -23,16 +25,17 @@ use versaslot_bench::{
 /// runner-to-runner hardware variance on top of the best-of-N noise floor.
 const TOLERANCE: f64 = 0.15;
 
-/// Measurement runs; the best (highest events/sec) one is compared.
+/// Measurement runs per metric; the best (highest events/sec) one is compared.
 const RUNS: usize = 5;
 
-/// Extracts `"events_per_sec": <number>` from the committed baseline.  The file
-/// is written by this workspace (see the `hot_path` bench and `--update`), so a
+/// Extracts `"<key>": <number>` from the committed baseline.  The file is
+/// written by this workspace (see the `hot_path` bench and `--update`), so a
 /// targeted scan beats pulling in a whole JSON parser the vendored stub does
-/// not provide.
-fn parse_baseline(json: &str) -> Option<f64> {
-    let key = "\"events_per_sec\"";
-    let rest = &json[json.find(key)? + key.len()..];
+/// not provide.  The full quoted key is matched, so `"events_per_sec"` never
+/// aliases onto `"service_events_per_sec"`.
+fn parse_metric(json: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let rest = &json[json.find(&quoted)? + quoted.len()..];
     let rest = rest.trim_start().strip_prefix(':')?.trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
@@ -40,15 +43,13 @@ fn parse_baseline(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn main() -> ExitCode {
-    let update = std::env::args().any(|arg| arg == "--update");
-
-    let workload = hot_path_workload();
+/// Takes the best of [`RUNS`] measurements of one metric.
+fn best_of(label: &str, mut measure: impl FnMut() -> HotPathStats) -> HotPathStats {
     let mut best: Option<HotPathStats> = None;
     for run in 1..=RUNS {
-        let stats = hot_path_run(&workload);
+        let stats = measure();
         eprintln!(
-            "run {run}/{RUNS}: {} events in {:.1} ms — {:.0} events/s",
+            "{label} run {run}/{RUNS}: {} events in {:.1} ms — {:.0} events/s",
             stats.simulated_events,
             stats.wall_seconds * 1e3,
             stats.events_per_sec
@@ -57,37 +58,60 @@ fn main() -> ExitCode {
             best = Some(stats);
         }
     }
-    let best = best.expect("at least one measurement run");
+    best.expect("at least one measurement run")
+}
 
-    let path = hot_path_baseline_path();
-    let verdict = match std::fs::read_to_string(path) {
-        Ok(json) => match parse_baseline(&json) {
-            Some(baseline) => {
-                let ratio = best.events_per_sec / baseline;
-                println!(
-                    "hot path: {:.0} events/s vs committed {:.0} events/s ({:+.1}%)",
-                    best.events_per_sec,
-                    baseline,
-                    (ratio - 1.0) * 100.0
+/// Gates one metric against the committed baseline, returning whether it
+/// passed.  A missing key is a warn-and-skip (the gate cannot fail on a
+/// baseline written before the metric existed); a present key regressing past
+/// [`TOLERANCE`] fails.
+fn gate_metric(json: &str, key: &str, measured: f64) -> bool {
+    match parse_metric(json, key) {
+        Some(baseline) => {
+            let ratio = measured / baseline;
+            println!(
+                "{key}: {measured:.0} events/s vs committed {baseline:.0} events/s ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            );
+            if ratio < 1.0 - TOLERANCE {
+                eprintln!(
+                    "FAIL: {key} regressed more than {:.0}% — investigate before \
+                     merging (or refresh the baseline with --update if the \
+                     regression is understood)",
+                    TOLERANCE * 100.0
                 );
-                if ratio < 1.0 - TOLERANCE {
-                    eprintln!(
-                        "FAIL: events_per_sec regressed more than {:.0}% — \
-                         investigate before merging (or refresh the baseline \
-                         with --update if the regression is understood)",
-                        TOLERANCE * 100.0
-                    );
-                    ExitCode::FAILURE
-                } else {
-                    println!("OK: within the {:.0}% gate", TOLERANCE * 100.0);
-                    ExitCode::SUCCESS
-                }
+                false
+            } else {
+                println!("OK: {key} within the {:.0}% gate", TOLERANCE * 100.0);
+                true
             }
-            None => {
-                eprintln!("WARN: {path} has no events_per_sec field; skipping the gate");
+        }
+        None => {
+            let path = bench_baseline_path();
+            eprintln!("WARN: {path} has no {key} field; skipping that gate");
+            true
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|arg| arg == "--update");
+
+    let workload = hot_path_workload();
+    let hot_path = best_of("hot path", || hot_path_run(&workload));
+    let service = best_of("service steady state", service_steady_state_throughput);
+
+    let path = bench_baseline_path();
+    let verdict = match std::fs::read_to_string(path) {
+        Ok(json) => {
+            let hot_ok = gate_metric(&json, "events_per_sec", hot_path.events_per_sec);
+            let service_ok = gate_metric(&json, "service_events_per_sec", service.events_per_sec);
+            if hot_ok && service_ok {
                 ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
-        },
+        }
         Err(err) => {
             eprintln!("WARN: could not read {path} ({err}); skipping the gate");
             ExitCode::SUCCESS
@@ -95,7 +119,7 @@ fn main() -> ExitCode {
     };
 
     if update {
-        match write_hot_path_baseline(&best) {
+        match write_bench_baseline(&BenchBaseline::new(&hot_path, &service)) {
             Ok(()) => println!("refreshed {path}"),
             Err(err) => {
                 eprintln!("ERROR: could not refresh {path}: {err}");

@@ -34,10 +34,11 @@ use versaslot_core::metrics::{
 };
 use versaslot_core::par::{parallel_map, Parallelism};
 use versaslot_core::runner::{run_cluster_sequence, run_sequence, ClusterMode, SchedulerKind};
+use versaslot_core::service::{run_service_cell, ServiceCell, ServiceConfig, StopCondition};
 use versaslot_core::SwitchingConfig;
 use versaslot_fpga::board::BoardSpec;
 use versaslot_workload::benchmarks::BenchmarkApp;
-use versaslot_workload::{generate_workload, Congestion, Workload, WorkloadConfig};
+use versaslot_workload::{generate_workload, ArrivalProcess, Congestion, Workload, WorkloadConfig};
 
 /// Shape of the generated workloads: `(sequences, apps per sequence)`.
 ///
@@ -642,19 +643,95 @@ pub fn hot_path_run(workload: &Workload) -> HotPathStats {
     }
 }
 
-/// Path of the committed hot-path baseline at the repository root.
+// ---------------------------------------------------------------------------
+// Service steady-state throughput
+// ---------------------------------------------------------------------------
+
+/// The service cell the steady-state numbers are measured on: the VersaSlot
+/// Big.Little system under stationary Poisson arrivals at 0.6 apps/s — just
+/// under the board's service capacity for the benchmark mix (~1 app/s), so the
+/// run is a loaded but stable steady state rather than a growing backlog.
+pub fn service_bench_cell() -> ServiceCell {
+    ServiceCell {
+        scheduler: SchedulerKind::VersaSlotBigLittle,
+        process: ArrivalProcess::Poisson { rate_per_sec: 0.6 },
+        load: 1.0,
+    }
+}
+
+/// The non-cell service parameters of the steady-state measurement.  The run
+/// stops on a fixed event count, so `simulated_events` is identical across
+/// runs and only wall-clock varies.
+pub fn service_bench_config() -> ServiceConfig {
+    ServiceConfig::new(service_bench_cell().process).with_stop(StopCondition::Events(300_000))
+}
+
+/// Runs the service-mode steady state ([`service_bench_cell`]) on a single
+/// thread and reports simulated events per wall-clock second — the second
+/// metric successive PRs track in `BENCH_hotpath.json`.
+///
+/// Where [`hot_path_throughput`] measures the per-event scheduling pass over a
+/// finite batch, this covers the streaming path: online arrival generation,
+/// the inject-one lookahead, app retirement and the constant-memory statistics
+/// fold.
+pub fn service_steady_state_throughput() -> HotPathStats {
+    let cell = service_bench_cell();
+    let config = service_bench_config();
+    let start = Instant::now();
+    let report = run_service_cell(&cell, &config);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// The committed benchmark baseline: the batch hot path plus the service-mode
+/// steady state, tracked together in `BENCH_hotpath.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Simulated events of the batch hot-path run.
+    pub simulated_events: u64,
+    /// Wall-clock time of the batch hot-path run, in seconds.
+    pub wall_seconds: f64,
+    /// Batch hot-path throughput (the original gated metric).
+    pub events_per_sec: f64,
+    /// Simulated events of the service steady-state run.
+    pub service_simulated_events: u64,
+    /// Wall-clock time of the service steady-state run, in seconds.
+    pub service_wall_seconds: f64,
+    /// Service steady-state throughput (gated alongside `events_per_sec`).
+    pub service_events_per_sec: f64,
+}
+
+impl BenchBaseline {
+    /// Combines the two throughput measurements into the committed format.
+    pub fn new(hot_path: &HotPathStats, service: &HotPathStats) -> Self {
+        BenchBaseline {
+            simulated_events: hot_path.simulated_events,
+            wall_seconds: hot_path.wall_seconds,
+            events_per_sec: hot_path.events_per_sec,
+            service_simulated_events: service.simulated_events,
+            service_wall_seconds: service.wall_seconds,
+            service_events_per_sec: service.events_per_sec,
+        }
+    }
+}
+
+/// Path of the committed benchmark baseline at the repository root.
 ///
 /// Shared by the `hot_path` Criterion bench (which refreshes the file) and the
 /// `bench_compare` CI gate (which reads it), so the two can never drift onto
 /// different files.
-pub fn hot_path_baseline_path() -> &'static str {
+pub fn bench_baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json")
 }
 
-/// Writes `stats` to [`hot_path_baseline_path`] in the committed format.
-pub fn write_hot_path_baseline(stats: &HotPathStats) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(stats).expect("throughput serialises");
-    std::fs::write(hot_path_baseline_path(), format!("{json}\n"))
+/// Writes `baseline` to [`bench_baseline_path`] in the committed format.
+pub fn write_bench_baseline(baseline: &BenchBaseline) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(baseline).expect("baseline serialises");
+    std::fs::write(bench_baseline_path(), format!("{json}\n"))
 }
 
 #[cfg(test)]
@@ -791,6 +868,70 @@ mod tests {
             serde_json::to_string(&sequential).expect("serialises"),
             serde_json::to_string(&parallel).expect("serialises")
         );
+    }
+
+    use versaslot_core::service::{run_service_matrix, service_matrix, ServiceReport};
+    use versaslot_sim::SimDuration;
+
+    fn quick_service_cells() -> Vec<ServiceCell> {
+        service_matrix(
+            &[SchedulerKind::Nimblock, SchedulerKind::VersaSlotBigLittle],
+            &[
+                ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+                ArrivalProcess::Diurnal {
+                    base_rate_per_sec: 0.4,
+                    amplitude: 0.6,
+                    period: SimDuration::from_secs(600),
+                },
+            ],
+            &[0.8, 1.2],
+        )
+    }
+
+    fn quick_service_base() -> ServiceConfig {
+        ServiceConfig::new(ArrivalProcess::Poisson { rate_per_sec: 0.5 })
+            .with_stop(StopCondition::Events(3_000))
+    }
+
+    /// Service mode inherits the figure harness's determinism contract: a fixed
+    /// seed must produce byte-identical reports regardless of how the
+    /// (scheduler × process × load) matrix is fanned out.
+    #[test]
+    fn service_matrix_is_byte_identical_between_sequential_and_parallel_runs() {
+        let cells = quick_service_cells();
+        let base = quick_service_base();
+        let sequential = run_service_matrix(Parallelism::Sequential, &cells, &base);
+        let threaded = run_service_matrix(Parallelism::Threads(4), &cells, &base);
+        let auto = run_service_matrix(Parallelism::Auto, &cells, &base);
+        let serialize =
+            |reports: &Vec<ServiceReport>| serde_json::to_string(reports).expect("serialises");
+        assert_eq!(serialize(&sequential), serialize(&threaded));
+        assert_eq!(serialize(&sequential), serialize(&auto));
+    }
+
+    #[test]
+    fn same_seed_reproduces_an_identical_service_matrix_across_runs() {
+        let cells = quick_service_cells();
+        let base = quick_service_base();
+        let first = run_service_matrix(Parallelism::Threads(3), &cells, &base);
+        let second = run_service_matrix(Parallelism::Threads(3), &cells, &base);
+        assert_eq!(
+            serde_json::to_string(&first).expect("serialises"),
+            serde_json::to_string(&second).expect("serialises")
+        );
+    }
+
+    /// The steady-state service bench must be a stable, deterministic run: the
+    /// fixed stop condition pins `simulated_events` so only wall-clock varies
+    /// between measurement runs.
+    #[test]
+    fn service_bench_configuration_is_valid_and_deterministic() {
+        service_bench_config().validate();
+        let base = service_bench_config().with_stop(StopCondition::Events(2_000));
+        let first = run_service_cell(&service_bench_cell(), &base);
+        let second = run_service_cell(&service_bench_cell(), &base);
+        assert_eq!(first.events_processed, second.events_processed);
+        assert_eq!(first.completions, second.completions);
     }
 
     #[test]

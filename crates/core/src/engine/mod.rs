@@ -197,6 +197,13 @@ pub struct SharingSimulator {
     window_blocked: u64,
     candidate_updates: u32,
     events_processed: u64,
+    arrivals_admitted: u64,
+    /// Completed applications removed from the tables by
+    /// [`Self::retire_completed`] (service mode), with the PR-task total they
+    /// contributed — the D_switch inputs are compensated with these so
+    /// retirement does not change the metric.
+    retired_apps: u64,
+    retired_pr_tasks: u64,
 
     occupancy: TimeWeightedSeries,
     lut_util: TimeWeightedSeries,
@@ -312,6 +319,9 @@ impl SharingSimulator {
             window_blocked: 0,
             candidate_updates: 0,
             events_processed: 0,
+            arrivals_admitted: 0,
+            retired_apps: 0,
+            retired_pr_tasks: 0,
             occupancy: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
             lut_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
             ff_util: TimeWeightedSeries::new(SimTime::ZERO, 0.0),
@@ -323,6 +333,85 @@ impl SharingSimulator {
         }
     }
 
+    /// Creates a simulator for **service mode**: no arrivals are scheduled up
+    /// front; the caller injects them one at a time with
+    /// [`Self::inject_arrival`] and retires finished applications with
+    /// [`Self::retire_completed`], so the application tables stay O(live apps)
+    /// over an unbounded run.
+    ///
+    /// The event queue is pre-sized for at most `arrival_lookahead` pending
+    /// injected arrivals (the service runner keeps exactly one in flight), so
+    /// the allocation-free spine invariant holds in service mode too.
+    pub fn for_service(
+        config: SystemConfig,
+        suite: Vec<ApplicationSpec>,
+        arrival_lookahead: usize,
+    ) -> Self {
+        let mut sim = Self::new(config, suite, &[]);
+        sim.events = EventQueue::with_capacity(Self::event_queue_capacity(
+            arrival_lookahead,
+            sim.slots.len(),
+            sim.config.boards.len(),
+        ));
+        sim
+    }
+
+    /// Schedules one externally generated arrival (service mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival references an application outside the suite, lies
+    /// in the past, or reuses an identifier that is still live.
+    pub fn inject_arrival(&mut self, arrival: AppArrival) {
+        assert!(
+            arrival.app_index < self.suite.len(),
+            "arrival {} references application index {} outside the suite",
+            arrival.id,
+            arrival.app_index
+        );
+        assert!(
+            arrival.arrival >= self.now,
+            "arrival {} at {} lies in the past (now {})",
+            arrival.id,
+            arrival.arrival,
+            self.now
+        );
+        let previous = self.pending_arrivals.insert(arrival.id, arrival);
+        assert!(
+            previous.is_none(),
+            "duplicate application id {}",
+            arrival.id
+        );
+        self.events
+            .push(arrival.arrival, Event::Arrival(arrival.id));
+    }
+
+    /// Removes every completed application from the runtime tables, calling
+    /// `fold` on each before it is dropped, and returns how many were retired.
+    ///
+    /// This is what keeps service-mode memory O(live applications): the caller
+    /// folds whatever it needs (response time, PR count, …) into its own
+    /// constant-size accumulators and the records are gone.  The D_switch
+    /// inputs are compensated via retirement counters, so switching behaviour
+    /// is identical with and without retirement.
+    pub fn retire_completed<F: FnMut(&AppRuntime)>(&mut self, mut fold: F) -> usize {
+        let mut retired = 0;
+        while let Some(id) = self
+            .apps
+            .iter()
+            .find(|(_, app)| app.state == AppState::Completed)
+            .map(|(id, _)| *id)
+        {
+            let app = self.apps.remove(&id).expect("app present");
+            self.pending_arrivals.remove(&id);
+            self.retired_apps += 1;
+            self.retired_pr_tasks += self.suite[app.app_index].task_count() as u64;
+            fold(&app);
+            retired += 1;
+        }
+        retired
+    }
+
     // ------------------------------------------------------------------
     // Policy-facing read API
     // ------------------------------------------------------------------
@@ -330,6 +419,26 @@ impl SharingSimulator {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Arrival events admitted into the runtime tables so far.
+    pub fn arrivals_admitted(&self) -> u64 {
+        self.arrivals_admitted
+    }
+
+    /// Partial reconfigurations performed so far.
+    pub fn total_pr(&self) -> u64 {
+        self.total_pr
+    }
+
+    /// Blocked events (PR contention + scheduler suspension) counted so far.
+    pub fn blocked_events(&self) -> u64 {
+        self.blocked_events
     }
 
     /// Applications that have arrived and are not yet completed, in identifier
@@ -894,6 +1003,7 @@ impl SharingSimulator {
         );
         self.apps.insert(id, app);
         self.index_app_arrived(id);
+        self.arrivals_admitted += 1;
         self.candidate_queue_updated();
     }
 
@@ -1104,12 +1214,13 @@ impl SharingSimulator {
             return;
         }
 
-        let pr_tasks: u64 = self
-            .apps
-            .values()
-            .filter(|a| a.started || a.state == AppState::Completed)
-            .map(|a| self.suite[a.app_index].task_count() as u64)
-            .sum();
+        let pr_tasks: u64 = self.retired_pr_tasks
+            + self
+                .apps
+                .values()
+                .filter(|a| a.started || a.state == AppState::Completed)
+                .map(|a| self.suite[a.app_index].task_count() as u64)
+                .sum::<u64>();
         let candidate_apps = self.active.len() as u64;
         let candidate_batch: u64 = self
             .active
@@ -1125,7 +1236,7 @@ impl SharingSimulator {
         let value = dswitch_value(inputs);
         self.window_blocked = 0;
 
-        let completed_apps = (self.apps.len() - self.active.len()) as u64;
+        let completed_apps = (self.apps.len() - self.active.len()) as u64 + self.retired_apps;
 
         let mut triggered = false;
         let target = self

@@ -54,6 +54,7 @@ pub mod migration;
 pub mod par;
 pub mod policy;
 pub mod runner;
+pub mod service;
 
 pub use config::{SwitchingConfig, SystemConfig};
 pub use engine::SharingSimulator;
@@ -62,4 +63,8 @@ pub use par::{parallel_map, Parallelism};
 pub use runner::{
     run_cluster_sequence, run_cluster_workload, run_sequence, run_workload, run_workload_with,
     ClusterMode, SchedulerKind,
+};
+pub use service::{
+    run_service_cell, run_service_matrix, service_matrix, AppServiceStats, ServiceCell,
+    ServiceConfig, ServiceReport, ServiceRunner, StopCondition,
 };

@@ -86,7 +86,9 @@ impl SchedulerKind {
         }
     }
 
-    fn policy(&self) -> Option<Box<dyn Policy>> {
+    /// A fresh policy instance for this scheduler, or `None` for the Baseline
+    /// (exclusive temporal multiplexing bypasses the sharing engine).
+    pub fn policy(&self) -> Option<Box<dyn Policy>> {
         match self {
             SchedulerKind::Baseline => None,
             SchedulerKind::Fcfs => Some(Box::new(FcfsPolicy::new())),

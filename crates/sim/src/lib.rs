@@ -45,6 +45,9 @@ pub mod trace;
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeWeightedSeries;
-pub use stats::{percentile, Summary, SummaryBuilder};
+pub use stats::{
+    percentile, sorted_percentile, P2Quantile, StreamingSummary, Summary, SummaryBuilder,
+    TumblingWindow, Welford, WindowSummary, WINDOW_RESERVOIR,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind};

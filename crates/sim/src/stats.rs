@@ -1,15 +1,39 @@
-//! Summary statistics for experiment reports.
+//! Summary statistics for experiment reports — batch and streaming.
 //!
 //! The paper reports *average* relative response time (Figure 5) and *P95/P99 tail*
-//! response time (Figure 6).  This module provides the small statistics toolkit the
-//! harnesses use to compute those aggregates: a streaming [`SummaryBuilder`] and a
-//! nearest-rank [`percentile`] helper.
+//! response time (Figure 6).  This module provides the statistics toolkit the
+//! harnesses use to compute those aggregates, in two flavours:
+//!
+//! * **Batch**: a [`SummaryBuilder`] that stores every observation and produces a
+//!   [`Summary`] with exact nearest-rank percentiles ([`percentile`] /
+//!   [`sorted_percentile`]).  Used by the finite figure runs, where the sample
+//!   fits in memory.
+//! * **Streaming**: constant-memory online accumulators for service mode, where
+//!   a run is open-ended and storing samples is impossible — a [`Welford`]
+//!   mean/variance accumulator, a [`P2Quantile`] sketch (the P² algorithm of
+//!   Jain & Chlamtac), the combined [`StreamingSummary`], and a
+//!   [`TumblingWindow`] reservoir that emits one [`WindowSummary`] per elapsed
+//!   time window.  All of them are `Copy` and perform **zero heap allocations**,
+//!   at construction or afterwards, so the engine's `grow_events() == 0`
+//!   allocation-free invariant extends to service-mode metrics.
 
 use serde::{Deserialize, Serialize};
 
+use crate::time::{SimDuration, SimTime};
+
+/// The 0-based index of the nearest-rank `q`-quantile in a sorted sample of `n`.
+fn nearest_rank_index(q: f64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Nearest-rank: ceil(q * n), 1-based; clamp for q = 0.
+    let rank = (q * n as f64).ceil() as usize;
+    (rank.max(1) - 1).min(n - 1)
+}
+
 /// Computes the `q`-quantile (0.0–1.0) of `values` using the nearest-rank method.
 ///
-/// The input does not need to be sorted.  Returns `None` for an empty slice.
+/// The input does not need to be sorted; the value is found with a linear-time
+/// selection ([`slice::select_nth_unstable_by`]) on a scratch copy rather than a
+/// full sort.  Returns `None` for an empty slice.
 ///
 /// # Example
 ///
@@ -24,18 +48,39 @@ use serde::{Deserialize, Serialize};
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]` or a NaN is encountered while selecting.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
     if values.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    // Nearest-rank: ceil(q * n), 1-based; clamp for q = 0.
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    let idx = rank.max(1) - 1;
-    Some(sorted[idx.min(sorted.len() - 1)])
+    let mut scratch: Vec<f64> = values.to_vec();
+    let idx = nearest_rank_index(q, scratch.len());
+    let (_, nth, _) = scratch.select_nth_unstable_by(idx, |a, b| {
+        a.partial_cmp(b).expect("NaN in percentile input")
+    });
+    Some(*nth)
+}
+
+/// Nearest-rank `q`-quantile of an **already sorted** slice, in O(1).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.  Debug builds also verify the input is
+/// sorted.
+pub fn sorted_percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sorted_percentile input is not sorted"
+    );
+    if sorted.is_empty() {
+        None
+    } else {
+        Some(sorted[nearest_rank_index(q, sorted.len())])
+    }
 }
 
 /// A fixed summary of a sample: count, mean, min/max and the tail percentiles the
@@ -73,6 +118,10 @@ impl Summary {
 
 /// Accumulates observations and produces a [`Summary`].
 ///
+/// [`SummaryBuilder::build`] sorts a scratch copy of the sample once and caches
+/// it: repeated `build` calls with no intervening [`SummaryBuilder::record`]
+/// reuse the cached order instead of re-sorting.
+///
 /// # Example
 ///
 /// ```
@@ -89,12 +138,18 @@ impl Summary {
 #[derive(Debug, Clone, Default)]
 pub struct SummaryBuilder {
     values: Vec<f64>,
+    /// Sorted copy of `values`, rebuilt lazily by `build`.  `values` is
+    /// append-only, so the cache is valid exactly when the lengths match.
+    sorted: Vec<f64>,
 }
 
 impl SummaryBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        SummaryBuilder { values: Vec::new() }
+        SummaryBuilder {
+            values: Vec::new(),
+            sorted: Vec::new(),
+        }
     }
 
     /// Records one observation.
@@ -130,9 +185,20 @@ impl SummaryBuilder {
     }
 
     /// Produces the summary, or `None` if nothing was recorded.
-    pub fn build(&self) -> Option<Summary> {
+    ///
+    /// The first call after new observations sorts a scratch copy; further
+    /// calls reuse it, so building the same sample repeatedly costs O(n), not
+    /// O(n log n) per call.
+    pub fn build(&mut self) -> Option<Summary> {
         if self.values.is_empty() {
             return None;
+        }
+        if self.sorted.len() != self.values.len() {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.values);
+            // `record` rejects NaN, so the comparison is total.
+            self.sorted
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
         }
         let count = self.values.len();
         let sum: f64 = self.values.iter().sum();
@@ -146,20 +212,14 @@ impl SummaryBuilder {
             })
             .sum::<f64>()
             / count as f64;
-        let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = self
-            .values
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
         Some(Summary {
             count,
             mean,
-            min,
-            max,
-            p50: percentile(&self.values, 0.50).expect("non-empty"),
-            p95: percentile(&self.values, 0.95).expect("non-empty"),
-            p99: percentile(&self.values, 0.99).expect("non-empty"),
+            min: self.sorted[0],
+            max: self.sorted[count - 1],
+            p50: sorted_percentile(&self.sorted, 0.50).expect("non-empty"),
+            p95: sorted_percentile(&self.sorted, 0.95).expect("non-empty"),
+            p99: sorted_percentile(&self.sorted, 0.99).expect("non-empty"),
             std_dev: variance.sqrt(),
         })
     }
@@ -179,9 +239,541 @@ impl FromIterator<f64> for SummaryBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming accumulators (service mode)
+// ---------------------------------------------------------------------------
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable single-pass computation of count, mean, population
+/// variance, min and max in O(1) memory.  `Copy`, allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::Welford;
+///
+/// let mut acc = Welford::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     acc.record(v);
+/// }
+/// assert_eq!(acc.count(), 3);
+/// assert!((acc.mean().unwrap() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (parallel-combine formula).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Online quantile sketch: the P² algorithm of Jain & Chlamtac (CACM 1985).
+///
+/// Tracks one quantile of an unbounded stream with five markers (O(1) memory,
+/// no stored samples): the marker heights approximate the quantile by piecewise
+/// parabolic interpolation and the marker positions are nudged toward their
+/// desired ranks on every observation.  Until five observations have arrived
+/// the estimate is exact (nearest rank over the buffered prefix).
+///
+/// `Copy`, allocation-free — suitable for per-application accumulators in
+/// open-ended service runs.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::P2Quantile;
+///
+/// let mut p99 = P2Quantile::new(0.99);
+/// for i in 0..10_000 {
+///     p99.record(i as f64);
+/// }
+/// let estimate = p99.estimate().unwrap();
+/// assert!((estimate - 9_900.0).abs() / 9_900.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    rates: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates a sketch for the `q`-quantile (0.0–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            rates: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+        }
+    }
+
+    /// The quantile this sketch tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        if self.count < 5 {
+            self.heights[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_unstable_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Cell k: heights[k] <= value < heights[k+1], extremes clamped.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut k = 0;
+            for i in 1..4 {
+                if value >= self.heights[i] {
+                    k = i;
+                }
+            }
+            k
+        };
+
+        for position in self.positions[k + 1..].iter_mut() {
+            *position += 1.0;
+        }
+        for (desired, rate) in self.desired.iter_mut().zip(self.rates) {
+            *desired += rate;
+        }
+
+        // Nudge the interior markers toward their desired positions.
+        for i in 1..4 {
+            let gap = self.desired[i] - self.positions[i];
+            if (gap >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (gap <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let sign = gap.signum();
+                let parabolic = self.parabolic(i, sign);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, sign)
+                    };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by `sign`.
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction leaves the bracket.
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate, or `None` when empty.
+    ///
+    /// Exact (nearest rank) for fewer than five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let n = self.count as usize;
+            let mut prefix = self.heights;
+            prefix[..n].sort_unstable_by(f64::total_cmp);
+            return Some(prefix[nearest_rank_index(self.q, n)]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// Constant-memory replacement for [`SummaryBuilder`]: a [`Welford`]
+/// accumulator plus P² sketches for the three percentiles the paper reports
+/// (P50/P95/P99).  `Copy`, allocation-free — one per application suite entry is
+/// all service mode ever holds.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::StreamingSummary;
+///
+/// let mut acc = StreamingSummary::new();
+/// for i in 1..=1_000 {
+///     acc.record(i as f64);
+/// }
+/// let summary = acc.summary().unwrap();
+/// assert_eq!(summary.count, 1_000);
+/// assert!((summary.p99 - 990.0).abs() / 990.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSummary {
+    welford: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingSummary {
+            welford: Welford::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        self.welford.record(value);
+        self.p50.record(value);
+        self.p95.record(value);
+        self.p99.record(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.welford.is_empty()
+    }
+
+    /// The mean/variance accumulator.
+    pub fn welford(&self) -> &Welford {
+        &self.welford
+    }
+
+    /// Current P50 estimate, or `None` when empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.p50.estimate()
+    }
+
+    /// Current P95 estimate, or `None` when empty.
+    pub fn p95(&self) -> Option<f64> {
+        self.p95.estimate()
+    }
+
+    /// Current P99 estimate, or `None` when empty.
+    pub fn p99(&self) -> Option<f64> {
+        self.p99.estimate()
+    }
+
+    /// Snapshot as a [`Summary`] (quantiles are P² estimates, the moments are
+    /// exact), or `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: self.count() as usize,
+            mean: self.welford.mean().expect("non-empty"),
+            min: self.welford.min().expect("non-empty"),
+            max: self.welford.max().expect("non-empty"),
+            p50: self.p50().expect("non-empty"),
+            p95: self.p95().expect("non-empty"),
+            p99: self.p99().expect("non-empty"),
+            std_dev: self.welford.std_dev().expect("non-empty"),
+        })
+    }
+}
+
+/// Number of samples the [`TumblingWindow`] reservoir keeps per window.
+pub const WINDOW_RESERVOIR: usize = 64;
+
+/// Summary of one completed time window of a [`TumblingWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Window index (`start = index × width`).  Empty windows are skipped, so
+    /// consecutive summaries may have non-consecutive indices.
+    pub index: u64,
+    /// Start of the window (inclusive).
+    pub start: SimTime,
+    /// End of the window (exclusive).
+    pub end: SimTime,
+    /// Observations recorded in the window (may exceed the reservoir size).
+    pub count: u64,
+    /// Exact mean over all observations of the window.
+    pub mean: f64,
+    /// Exact maximum over all observations of the window.
+    pub max: f64,
+    /// Median estimate from the window reservoir.
+    pub p50: f64,
+    /// P95 estimate from the window reservoir.
+    pub p95: f64,
+    /// P99 estimate from the window reservoir.
+    pub p99: f64,
+}
+
+/// A tumbling-window reservoir: observations are bucketed into fixed-width
+/// time windows; within the current window a deterministic reservoir sample
+/// (Algorithm R over a fixed [`WINDOW_RESERVOIR`]-slot array) feeds the
+/// percentile estimates while a [`Welford`] accumulator keeps the exact count,
+/// mean and max.  Crossing a window boundary emits the finished window as a
+/// [`WindowSummary`] and resets.
+///
+/// `Copy`, allocation-free: the reservoir is a fixed array and the internal
+/// randomness is a seeded xorshift counter, so windowed tail timelines cost
+/// O(1) memory over an unbounded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TumblingWindow {
+    width: SimDuration,
+    window: u64,
+    seen: u64,
+    samples: [f64; WINDOW_RESERVOIR],
+    stats: Welford,
+    rng: u64,
+}
+
+impl TumblingWindow {
+    /// Creates a reservoir with windows of `width`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration, seed: u64) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        TumblingWindow {
+            width,
+            window: 0,
+            seen: 0,
+            samples: [0.0; WINDOW_RESERVOIR],
+            stats: Welford::new(),
+            // xorshift needs a non-zero state; mix the seed so 0 works too.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// The window width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Observations recorded in the current (unfinished) window.
+    pub fn pending(&self) -> u64 {
+        self.seen
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Records an observation at simulated time `time`.
+    ///
+    /// Returns the summary of the previous window when `time` crosses a window
+    /// boundary (the caller sees each window exactly once, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or `time` moves backwards across a window
+    /// boundary.
+    pub fn record(&mut self, time: SimTime, value: f64) -> Option<WindowSummary> {
+        let index = time.as_micros() / self.width.as_micros();
+        let finished = if self.seen > 0 && index != self.window {
+            assert!(index > self.window, "window time went backwards");
+            self.flush()
+        } else {
+            None
+        };
+        self.window = index;
+        self.seen += 1;
+        self.stats.record(value);
+        let slots = WINDOW_RESERVOIR as u64;
+        if self.seen <= slots {
+            self.samples[(self.seen - 1) as usize] = value;
+        } else {
+            let j = self.next_rand() % self.seen;
+            if j < slots {
+                self.samples[j as usize] = value;
+            }
+        }
+        finished
+    }
+
+    /// Finishes the current window (if it has observations) and returns its
+    /// summary, resetting the reservoir.  Call once at the end of a run to
+    /// emit the final partial window.
+    pub fn flush(&mut self) -> Option<WindowSummary> {
+        if self.seen == 0 {
+            return None;
+        }
+        let filled = (self.seen as usize).min(WINDOW_RESERVOIR);
+        // Sort the reservoir prefix in place (it is reset below anyway).
+        self.samples[..filled].sort_unstable_by(f64::total_cmp);
+        let sorted = &self.samples[..filled];
+        let start = SimTime::from_micros(self.window * self.width.as_micros());
+        let summary = WindowSummary {
+            index: self.window,
+            start,
+            end: start + self.width,
+            count: self.seen,
+            mean: self.stats.mean().expect("non-empty window"),
+            max: self.stats.max().expect("non-empty window"),
+            p50: sorted_percentile(sorted, 0.50).expect("non-empty window"),
+            p95: sorted_percentile(sorted, 0.95).expect("non-empty window"),
+            p99: sorted_percentile(sorted, 0.99).expect("non-empty window"),
+        };
+        self.seen = 0;
+        self.stats = Welford::new();
+        Some(summary)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
     use proptest::prelude::*;
 
     #[test]
@@ -218,6 +810,17 @@ mod tests {
     }
 
     #[test]
+    fn sorted_percentile_matches_percentile() {
+        let mut values: Vec<f64> = (0..97).map(|i| ((i * 37) % 89) as f64).collect();
+        let unsorted = values.clone();
+        values.sort_unstable_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(sorted_percentile(&values, q), percentile(&unsorted, q));
+        }
+        assert_eq!(sorted_percentile(&[], 0.5), None);
+    }
+
+    #[test]
     #[should_panic(expected = "outside")]
     fn percentile_rejects_bad_quantile() {
         percentile(&[1.0], 1.5);
@@ -235,6 +838,179 @@ mod tests {
         assert_eq!(builder.len(), 3);
         assert!(!builder.is_empty());
         assert_eq!(builder.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn repeated_builds_and_interleaved_records_agree() {
+        let mut builder = SummaryBuilder::new();
+        builder.record_all([5.0, 1.0, 3.0]);
+        let first = builder.build().unwrap();
+        // Second build with no new observations reuses the sorted cache.
+        assert_eq!(builder.build().unwrap(), first);
+        assert_eq!(builder.values(), &[5.0, 1.0, 3.0], "insertion order kept");
+        // New observations invalidate the cache.
+        builder.record(0.5);
+        let second = builder.build().unwrap();
+        assert_eq!(second.count, 4);
+        assert_eq!(second.min, 0.5);
+        assert_eq!(second, Summary::of(builder.values()).unwrap());
+    }
+
+    #[test]
+    fn welford_known_sample() {
+        let mut acc = Welford::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), None);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            acc.record(v);
+        }
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean().unwrap() - 3.0).abs() < 1e-12);
+        assert!((acc.variance().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(1.0));
+        assert_eq!(acc.max(), Some(5.0));
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 31) % 97) as f64).collect();
+        let mut whole = Welford::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (left, right) = values.split_at(73);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        left.iter().for_each(|&v| a.record(v));
+        right.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merging into/from empty accumulators is the identity.
+        let mut empty = Welford::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        whole.merge(&Welford::new());
+        assert_eq!(empty, whole);
+    }
+
+    #[test]
+    fn p2_is_exact_for_small_samples() {
+        let mut sketch = P2Quantile::new(0.5);
+        assert_eq!(sketch.estimate(), None);
+        for (i, v) in [9.0, 1.0, 5.0].iter().enumerate() {
+            sketch.record(*v);
+            assert_eq!(sketch.count(), i as u64 + 1);
+        }
+        // Exact nearest-rank median of {1, 5, 9}.
+        assert_eq!(sketch.estimate(), Some(5.0));
+    }
+
+    #[test]
+    fn p2_tracks_a_linear_ramp() {
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p99 = P2Quantile::new(0.99);
+        for i in 1..=10_000 {
+            p50.record(i as f64);
+            p99.record(i as f64);
+        }
+        assert!((p50.estimate().unwrap() - 5_000.0).abs() / 5_000.0 < 0.02);
+        assert!((p99.estimate().unwrap() - 9_900.0).abs() / 9_900.0 < 0.02);
+    }
+
+    #[test]
+    fn streaming_summary_snapshot_is_consistent() {
+        let mut acc = StreamingSummary::new();
+        assert!(acc.summary().is_none());
+        for i in 1..=1_000 {
+            acc.record(i as f64);
+        }
+        let summary = acc.summary().unwrap();
+        assert_eq!(summary.count, 1_000);
+        assert!((summary.mean - 500.5).abs() < 1e-9);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 1_000.0);
+        assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        assert!(summary.p99 <= summary.max);
+    }
+
+    #[test]
+    fn tumbling_window_emits_finished_windows_in_order() {
+        let mut window = TumblingWindow::new(SimDuration::from_millis(100), 7);
+        let mut emitted = Vec::new();
+        for i in 0..1_000u64 {
+            // One observation per millisecond: ten 100-observation windows.
+            if let Some(summary) = window.record(SimTime::from_millis(i), i as f64) {
+                emitted.push(summary);
+            }
+        }
+        let last = window.flush().unwrap();
+        emitted.push(last);
+        assert_eq!(emitted.len(), 10);
+        for (i, summary) in emitted.iter().enumerate() {
+            assert_eq!(summary.index, i as u64);
+            assert_eq!(summary.count, 100);
+            assert_eq!(summary.start, SimTime::from_millis(i as u64 * 100));
+            let lo = (i * 100) as f64;
+            let hi = lo + 99.0;
+            assert!((summary.mean - (lo + hi) / 2.0).abs() < 1e-9);
+            assert_eq!(summary.max, hi);
+            assert!(summary.p50 >= lo && summary.p50 <= hi);
+            assert!(summary.p99 >= summary.p95 && summary.p95 >= summary.p50);
+        }
+        assert!(window.flush().is_none(), "flush is idempotent");
+    }
+
+    #[test]
+    fn tumbling_window_skips_empty_windows_and_is_deterministic() {
+        let make = || {
+            let mut window = TumblingWindow::new(SimDuration::from_secs(1), 42);
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                // Burst in window 0, silence, burst in window 7.
+                let t = if i < 250 { i } else { 7_000 + i };
+                if let Some(s) = window.record(SimTime::from_millis(t), (i % 97) as f64) {
+                    out.push(s);
+                }
+            }
+            out.extend(window.flush());
+            out
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b, "same seed, same windows");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].index, 0);
+        assert_eq!(a[1].index, 7);
+        assert_eq!(a[0].count, 250);
+        assert_eq!(a[1].count, 250);
+    }
+
+    /// Deterministic sample from one of the three accuracy-test distributions.
+    fn sample(distribution: usize, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = SimRng::seed_from(seed ^ 0xACC0_01D5);
+        (0..n)
+            .map(|_| {
+                let u = rng.gen_unit();
+                match distribution {
+                    // Uniform on [100, 1000).
+                    0 => 100.0 + 900.0 * u,
+                    // Exponential with mean 100.
+                    1 => -(1.0 - u).ln() * 100.0,
+                    // Bimodal: 25% fast mode, 75% slow mode.
+                    _ => {
+                        if rng.gen_bool(0.25) {
+                            10.0 + 20.0 * u
+                        } else {
+                            60.0 + 60.0 * u
+                        }
+                    }
+                }
+            })
+            .collect()
     }
 
     proptest! {
@@ -259,6 +1035,62 @@ mod tests {
         ) {
             let p = percentile(&values, q).unwrap();
             prop_assert!(values.iter().any(|v| (*v - p).abs() < f64::EPSILON));
+        }
+
+        /// Selection-based percentile agrees with a full sort at every rank.
+        #[test]
+        fn prop_percentile_matches_full_sort(
+            values in prop::collection::vec(0.0f64..1e6, 1..150),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            prop_assert_eq!(percentile(&values, q), sorted_percentile(&sorted, q));
+        }
+
+        /// Welford matches the two-pass mean/variance to 1e-9 (relative).
+        #[test]
+        fn prop_welford_matches_two_pass(
+            values in prop::collection::vec(-1e6f64..1e6, 1..400),
+        ) {
+            let mut acc = Welford::new();
+            for &v in &values {
+                acc.record(v);
+            }
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+            prop_assert!(close(acc.mean().unwrap(), mean), "mean {} vs {}", acc.mean().unwrap(), mean);
+            prop_assert!(close(acc.variance().unwrap(), variance), "variance {} vs {}", acc.variance().unwrap(), variance);
+        }
+
+        /// P² accuracy bound over uniform, exponential and bimodal inputs: the
+        /// P50/P95/P99 sketches stay within 2% (relative) of the exact
+        /// nearest-rank quantiles.
+        #[test]
+        fn prop_p2_tracks_exact_quantiles(seed in 0u64..48, distribution in 0usize..3) {
+            // Large enough that the *sample* quantile's own noise (which scales
+            // as 1/(f(x_q)·√n) and is worst for the exponential tail) is well
+            // under the 2% bound being asserted.
+            let values = sample(distribution, seed, 100_000);
+            let mut acc = StreamingSummary::new();
+            for &v in &values {
+                acc.record(v);
+            }
+            for (q, estimate) in [
+                (0.50, acc.p50().unwrap()),
+                (0.95, acc.p95().unwrap()),
+                (0.99, acc.p99().unwrap()),
+            ] {
+                let exact = percentile(&values, q).unwrap();
+                let error = (estimate - exact).abs() / exact.abs().max(1e-12);
+                prop_assert!(
+                    error < 0.02,
+                    "distribution {} seed {}: q{} estimate {} vs exact {} ({:.3}% off)",
+                    distribution, seed, q, estimate, exact, error * 100.0
+                );
+            }
         }
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod application;
+pub mod arrival;
 pub mod benchmarks;
 pub mod congestion;
 pub mod generator;
@@ -37,6 +38,7 @@ pub mod partition;
 pub mod task;
 
 pub use application::{AppArrival, AppId, ApplicationSpec, BundleSpec};
+pub use arrival::{ArrivalDriver, ArrivalProcess};
 pub use benchmarks::BenchmarkApp;
 pub use congestion::Congestion;
 pub use generator::{
