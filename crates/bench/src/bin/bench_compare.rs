@@ -1,5 +1,6 @@
-//! CI gate for the scheduler hot path and the service steady state: rerun both
-//! throughput measurements and fail when `events_per_sec` or
+//! CI gate for the scheduler hot path and the service steady state: rerun the
+//! throughput measurements and fail when `events_per_sec` (the batched drain),
+//! `per_event_events_per_sec` (the one-event-at-a-time control) or
 //! `service_events_per_sec` regresses more than 15% against the committed
 //! `BENCH_hotpath.json`.
 //!
@@ -16,8 +17,8 @@
 use std::process::ExitCode;
 
 use versaslot_bench::{
-    bench_baseline_path, hot_path_run, hot_path_workload, service_steady_state_throughput,
-    write_bench_baseline, BenchBaseline, HotPathStats,
+    bench_baseline_path, hot_path_run, hot_path_workload, per_event_hot_path_run,
+    service_steady_state_throughput, write_bench_baseline, BenchBaseline, HotPathStats,
 };
 
 /// Relative regression that fails the gate (ROADMAP: "regressions on the
@@ -98,15 +99,18 @@ fn main() -> ExitCode {
     let update = std::env::args().any(|arg| arg == "--update");
 
     let workload = hot_path_workload();
-    let hot_path = best_of("hot path", || hot_path_run(&workload));
+    let hot_path = best_of("batch hot path", || hot_path_run(&workload));
+    let per_event = best_of("per-event control", || per_event_hot_path_run(&workload));
     let service = best_of("service steady state", service_steady_state_throughput);
 
     let path = bench_baseline_path();
     let verdict = match std::fs::read_to_string(path) {
         Ok(json) => {
             let hot_ok = gate_metric(&json, "events_per_sec", hot_path.events_per_sec);
+            let per_event_ok =
+                gate_metric(&json, "per_event_events_per_sec", per_event.events_per_sec);
             let service_ok = gate_metric(&json, "service_events_per_sec", service.events_per_sec);
-            if hot_ok && service_ok {
+            if hot_ok && per_event_ok && service_ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -119,7 +123,7 @@ fn main() -> ExitCode {
     };
 
     if update {
-        match write_bench_baseline(&BenchBaseline::new(&hot_path, &service)) {
+        match write_bench_baseline(&BenchBaseline::new(&hot_path, &per_event, &service)) {
             Ok(()) => println!("refreshed {path}"),
             Err(err) => {
                 eprintln!("ERROR: could not refresh {path}: {err}");

@@ -611,8 +611,8 @@ pub struct HotPathStats {
 /// Runs one stress-congestion sequence through the VersaSlot Big.Little system on
 /// a single thread and reports simulated events per wall-clock second.
 ///
-/// Single-threaded on purpose: the number measures the per-event scheduling
-/// pass (the indexed engine queries plus the policy), not the harness fan-out.
+/// Single-threaded on purpose: the number measures the batched scheduling loop
+/// (the indexed engine queries plus the policy), not the harness fan-out.
 pub fn hot_path_throughput() -> HotPathStats {
     hot_path_run(&hot_path_workload())
 }
@@ -628,6 +628,11 @@ pub fn hot_path_workload() -> Workload {
 /// Runs the first sequence of `workload` through the VersaSlot Big.Little
 /// system on a single thread and reports simulated events per wall-clock
 /// second.
+///
+/// Drives [`SharingSimulator::run`], the batched same-timestamp drain — the
+/// headline `events_per_sec` in `BENCH_hotpath.json` tracks this loop.
+///
+/// [`SharingSimulator::run`]: versaslot_core::engine::SharingSimulator::run
 pub fn hot_path_run(workload: &Workload) -> HotPathStats {
     let start = Instant::now();
     let report = run_sequence(
@@ -635,6 +640,36 @@ pub fn hot_path_run(workload: &Workload) -> HotPathStats {
         workload,
         &workload.sequences[0],
     );
+    let wall_seconds = start.elapsed().as_secs_f64();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// The per-event control measurement: the same stress sequence as
+/// [`hot_path_run`] driven through
+/// [`SharingSimulator::run_per_event`](versaslot_core::engine::SharingSimulator::run_per_event)
+/// one event at a time.
+///
+/// Tracked as `per_event_events_per_sec` so the baseline records how much of
+/// the hot-path throughput comes from the batched drain itself; the
+/// determinism tests guarantee both paths produce byte-identical reports.
+pub fn per_event_hot_path_run(workload: &Workload) -> HotPathStats {
+    use versaslot_core::config::SystemConfig;
+    use versaslot_core::engine::SharingSimulator;
+
+    let kind = SchedulerKind::VersaSlotBigLittle;
+    let mut policy = kind.policy().expect("versaslot is not the baseline");
+    let config = SystemConfig::single_board(kind.board());
+    let mut sim = SharingSimulator::new(
+        config,
+        workload.suite.clone(),
+        &workload.sequences[0].arrivals,
+    );
+    let start = Instant::now();
+    let report = sim.run_per_event(policy.as_mut());
     let wall_seconds = start.elapsed().as_secs_f64();
     HotPathStats {
         simulated_events: report.events_processed,
@@ -687,16 +722,25 @@ pub fn service_steady_state_throughput() -> HotPathStats {
     }
 }
 
-/// The committed benchmark baseline: the batch hot path plus the service-mode
-/// steady state, tracked together in `BENCH_hotpath.json`.
+/// The committed benchmark baseline: the batch hot path, its per-event
+/// control, and the service-mode steady state, tracked together in
+/// `BENCH_hotpath.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BenchBaseline {
     /// Simulated events of the batch hot-path run.
     pub simulated_events: u64,
     /// Wall-clock time of the batch hot-path run, in seconds.
     pub wall_seconds: f64,
-    /// Batch hot-path throughput (the original gated metric).
+    /// Batch hot-path throughput (the original gated metric, now measured on
+    /// the batched drain).
     pub events_per_sec: f64,
+    /// Simulated events of the per-event control run (identical to
+    /// `simulated_events` by the determinism contract).
+    pub per_event_simulated_events: u64,
+    /// Wall-clock time of the per-event control run, in seconds.
+    pub per_event_wall_seconds: f64,
+    /// Per-event control throughput (gated alongside `events_per_sec`).
+    pub per_event_events_per_sec: f64,
     /// Simulated events of the service steady-state run.
     pub service_simulated_events: u64,
     /// Wall-clock time of the service steady-state run, in seconds.
@@ -706,12 +750,15 @@ pub struct BenchBaseline {
 }
 
 impl BenchBaseline {
-    /// Combines the two throughput measurements into the committed format.
-    pub fn new(hot_path: &HotPathStats, service: &HotPathStats) -> Self {
+    /// Combines the three throughput measurements into the committed format.
+    pub fn new(hot_path: &HotPathStats, per_event: &HotPathStats, service: &HotPathStats) -> Self {
         BenchBaseline {
             simulated_events: hot_path.simulated_events,
             wall_seconds: hot_path.wall_seconds,
             events_per_sec: hot_path.events_per_sec,
+            per_event_simulated_events: per_event.simulated_events,
+            per_event_wall_seconds: per_event.wall_seconds,
+            per_event_events_per_sec: per_event.events_per_sec,
             service_simulated_events: service.simulated_events,
             service_wall_seconds: service.wall_seconds,
             service_events_per_sec: service.events_per_sec,
@@ -945,5 +992,16 @@ mod tests {
             stats.simulated_events,
             hot_path_throughput().simulated_events
         );
+    }
+
+    /// The per-event control drives the same workload through the same system,
+    /// so by the batched-drain determinism contract it must process exactly the
+    /// same number of simulated events as the batched measurement.
+    #[test]
+    fn per_event_control_simulates_the_same_event_stream() {
+        let workload = hot_path_workload();
+        let batched = hot_path_run(&workload);
+        let per_event = per_event_hot_path_run(&workload);
+        assert_eq!(batched.simulated_events, per_event.simulated_events);
     }
 }

@@ -66,6 +66,11 @@ impl AllocInputs {
     pub fn contains(&self, app: AppId) -> bool {
         self.get(app).is_some()
     }
+
+    /// Capacity of the backing vector (scratch-allocation accounting).
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
 }
 
 /// Per-application inputs to Algorithm 1.

@@ -21,39 +21,56 @@
 //! The *policy* (which application gets which slot, and when) is pluggable — see
 //! [`crate::policy`].
 //!
-//! # Incremental slot and application indexes
+//! # Batched event drain: one scheduling pass per simulation instant
 //!
-//! The scheduling hot path is O(1)-indexed and allocation-free.  The simulator
-//! maintains, incrementally:
+//! Discrete-event workloads cluster: a PR completion, the item completions it
+//! unblocks and a batch arrival frequently share one timestamp.  Rerunning the
+//! policy after every individual event would schedule against half-applied
+//! state and burn most of the hot path re-sorting unchanged queues, so the
+//! engine separates *applying* events from *reacting* to them:
 //!
-//! * **Slot bitmasks** ([`SlotIndex`], one bit per slot, at most [`MAX_SLOTS`]
-//!   slots per run): `free`, `enabled`, `loaded_idle`, the static per-kind masks
-//!   and the static per-board masks.  Every policy-facing query
-//!   ([`SharingSimulator::free_slot_count`],
-//!   [`SharingSimulator::enabled_slot_total`],
-//!   [`SharingSimulator::first_grantable_slot`],
-//!   [`SharingSimulator::grantable_slots`]) is a popcount or trailing-zeros over
-//!   an AND of these masks.
-//! * **Per-application occupancy counters** (`in_use_big` / `in_use_little` on
-//!   [`AppRuntime`]), so [`SharingSimulator::slots_in_use_by`] is a field read.
-//! * **The active-application set** (arrived, not yet completed), kept sorted by
-//!   identifier, borrowed via [`SharingSimulator::active_apps`].
+//! * [`SharingSimulator::step_batch`] drains **every** event carrying the
+//!   current timestamp ([`EventQueue::pop_batch`] plus a re-drain loop for
+//!   events the batch itself schedules at the same instant), then runs exactly
+//!   one `flush` — one policy pass followed by a launch sweep over the
+//!   applications the batch touched.
+//! * [`SharingSimulator::step`] (the per-event control) applies one event but
+//!   *defers* its flush while more events remain at the same timestamp, so it
+//!   converges on the identical pass-per-instant schedule.
 //!
-//! The indexes are updated at exactly five points, all in this module:
+//! [`SharingSimulator::run`] (batched) and [`SharingSimulator::run_per_event`]
+//! therefore produce **byte-identical** reports and traces — the runner's
+//! determinism tests serialise both and compare the strings — while the
+//! batched drain does strictly less policy work.  The launch sweep is
+//! *targeted*: applying an event records the applications it touched, the
+//! flush sweeps only those, and debug builds cross-check with
+//! `debug_assert_no_launchable` that no other application could have launched.
 //!
-//! | transition | maintenance |
-//! |---|---|
-//! | [`SharingSimulator::grant_slot`] | clear `free`, bump occupancy counter |
-//! | [`SharingSimulator::release_slot`] | set `free`, clear `loaded_idle`, drop counter |
-//! | PR completion | set `loaded_idle` |
-//! | item completion | `loaded_idle` (unit continues) or `free` + drop counter (unit done); active set on app completion |
-//! | switch trigger / completion | clear / set the board's `enabled` bits |
+//! # Structure-of-arrays state and multi-word slot masks
 //!
-//! plus arrival (active-set insert) and launch (`loaded_idle` clear).
-//! [`SharingSimulator::verify_indexes`] recomputes everything naively from
-//! [`SharingSimulator::slots`] and panics on any divergence; debug builds run it
-//! after every event, and the property tests drive it explicitly via
-//! [`SharingSimulator::step`].
+//! The hot per-application fields live in `soa::AppTable` as parallel
+//! columns (arrival, remaining work, unfinished units, unplaced units) over a
+//! row slab, so a policy pass streams over dense arrays instead of chasing
+//! per-app structs.  Identifier-to-row lookup is a sliding-window direct map
+//! (a `VecDeque` offset by the lowest live identifier): O(1) per lookup, yet
+//! memory stays proportional to the live identifier span, which keeps the
+//! infinite-stream service mode constant-memory.  `AppRuntime` structs remain
+//! the views policies mutate; `verify_columns` recomputes every column naively
+//! and panics on divergence in debug builds.
+//!
+//! Slot sets are [`mask::SlotMask`]es — two inline `u64` words spilling to a
+//! heap vector beyond 128 slots, lifting the ceiling to [`MAX_SLOTS`] (4096)
+//! without allocating for ordinary boards.  The simulator maintains `free`,
+//! `enabled`, `loaded_idle`, static per-kind and static per-board masks
+//! incrementally at every slot transition (grant, release, PR completion, item
+//! completion, switch trigger/completion); every policy-facing query
+//! ([`SharingSimulator::free_slot_count`],
+//! [`SharingSimulator::first_grantable_slot`],
+//! [`SharingSimulator::grantable_slots`]) is popcounts and trailing-zeros over
+//! lazily-ANDed words, with a non-allocating iterator.
+//! [`SharingSimulator::verify_indexes`] recomputes all masks and counters from
+//! [`SharingSimulator::slots`] and panics on any divergence; debug builds run
+//! it after every event.
 //!
 //! # Allocation-free event spine
 //!
@@ -66,12 +83,15 @@
 //!   [`SharingSimulator::event_queue_grow_events`] stays `0`;
 //! * [`Trace::log`] takes a `Copy` [`TraceDetail`] payload and bumps a
 //!   fixed-array counter, so a counting-only trace never formats or allocates;
-//! * the launch sweep and the policies reuse scratch buffers
-//!   (`sweep_scratch`, the policies' own buffers) that reach their high-water
-//!   mark during warm-up and are never reallocated afterwards.
+//! * the batch drain, the touched-application set and the policies reuse
+//!   scratch buffers that reach their high-water mark during warm-up; every
+//!   policy reports reallocations via `Policy::scratch_allocs`, and the
+//!   allocation-audit test asserts the count stays flat after the first run.
 
 pub mod app;
+pub mod mask;
 pub mod slot;
+pub(crate) mod soa;
 
 use std::collections::BTreeMap;
 
@@ -80,7 +100,9 @@ use versaslot_fpga::board::BoardId;
 use versaslot_fpga::cpu::{CoreAssignment, CpuCore};
 use versaslot_fpga::pcap::SerialServer;
 use versaslot_fpga::slot::{LayoutKind, SlotKind};
-use versaslot_sim::{EventQueue, SimTime, TimeWeightedSeries, Trace, TraceDetail, TraceKind};
+use versaslot_sim::{
+    EventQueue, SimDuration, SimTime, TimeWeightedSeries, Trace, TraceDetail, TraceKind,
+};
 use versaslot_workload::{AppArrival, AppId, ApplicationSpec};
 
 use crate::config::SystemConfig;
@@ -89,15 +111,21 @@ use crate::metrics::{AppRecord, RunReport};
 use crate::migration::{migration_overhead, MigrationRecord};
 use crate::policy::Policy;
 
+use mask::MaskQuery;
+use soa::{AppTable, SlotColumns};
+
 pub use app::{AppRuntime, AppState, ExecMode, UnitRuntime};
+pub use mask::{SlotIndexIter, SlotMask};
 pub use slot::{ExecUnit, SlotRuntime, SlotState};
 
 /// Safety bound on the number of processed events (a run of the paper's largest
 /// workload needs well under a million).
 const MAX_EVENTS: u64 = 50_000_000;
 
-/// Maximum number of slots per run (bound of the `u64` slot bitmasks).
-pub const MAX_SLOTS: usize = 64;
+/// Sanity bound on the number of slots per run.  The multi-word [`SlotMask`]s
+/// scale to any fleet size; this only guards against absurd configurations
+/// (the former `u64` masks capped this at 64).
+pub const MAX_SLOTS: usize = 4096;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
@@ -123,53 +151,21 @@ fn kind_bit(kind: SlotKind) -> usize {
     }
 }
 
-/// Incrementally maintained slot bitmasks (bit *i* ↔ slot index *i*).
+/// Incrementally maintained slot bitmasks (bit *i* ↔ slot index *i*), each a
+/// multi-word [`SlotMask`] sized once for the run's slot count.
 #[derive(Debug, Clone)]
 struct SlotIndex {
     /// Slots in [`SlotState::Free`].
-    free: u64,
+    free: SlotMask,
     /// Slots accepting new grants.
-    enabled: u64,
+    enabled: SlotMask,
     /// Slots in [`SlotState::Loaded`] with `busy == false`.
-    loaded_idle: u64,
+    loaded_idle: SlotMask,
     /// Static: slots of each [`SlotKind`] (indexed by [`kind_bit`]).
-    kind: [u64; 2],
+    kind: [SlotMask; 2],
     /// Static: slots of each board.
-    board: Vec<u64>,
+    board: Vec<SlotMask>,
 }
-
-impl SlotIndex {
-    fn bit(idx: usize) -> u64 {
-        1u64 << idx
-    }
-}
-
-/// Non-allocating iterator over slot indices, ascending (see
-/// [`SharingSimulator::grantable_slots`]).
-#[derive(Debug, Clone, Copy)]
-pub struct SlotIndexIter {
-    mask: u64,
-}
-
-impl Iterator for SlotIndexIter {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        if self.mask == 0 {
-            return None;
-        }
-        let idx = self.mask.trailing_zeros() as usize;
-        self.mask &= self.mask - 1;
-        Some(idx)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.mask.count_ones() as usize;
-        (n, Some(n))
-    }
-}
-
-impl ExactSizeIterator for SlotIndexIter {}
 
 /// Discrete-event simulator of fine-grained FPGA sharing on one or two boards.
 #[derive(Debug)]
@@ -179,8 +175,10 @@ pub struct SharingSimulator {
     pending_arrivals: BTreeMap<AppId, AppArrival>,
     now: SimTime,
     events: EventQueue<Event>,
-    apps: BTreeMap<AppId, AppRuntime>,
+    apps: AppTable,
     slots: Vec<SlotRuntime>,
+    /// Static per-slot hot columns (kind, board) in SoA layout.
+    slot_cols: SlotColumns,
     index: SlotIndex,
     /// Arrived, not-yet-completed applications, sorted by identifier.
     active: Vec<AppId>,
@@ -214,8 +212,11 @@ pub struct SharingSimulator {
     dswitch_trace: Vec<DswitchSample>,
     migrations: Vec<MigrationRecord>,
 
-    /// Reusable buffer for the launch sweep (no steady-state allocation).
-    sweep_scratch: Vec<AppId>,
+    /// Reusable buffer for the batched event drain (no steady-state allocation).
+    batch_scratch: Vec<Event>,
+    /// Applications whose units progressed since the last scheduling pass —
+    /// the only candidates for the launch sweep (no steady-state allocation).
+    touched_scratch: Vec<AppId>,
 }
 
 impl SharingSimulator {
@@ -238,30 +239,35 @@ impl SharingSimulator {
             );
         }
 
+        let total_slots: usize = config
+            .boards
+            .iter()
+            .map(|board| board.layout.slots().len())
+            .sum();
+        assert!(
+            total_slots <= MAX_SLOTS,
+            "at most {MAX_SLOTS} slots are supported per run"
+        );
+
         let mut slots = Vec::new();
         let mut cores = Vec::new();
         let mut index = SlotIndex {
-            free: 0,
-            enabled: 0,
-            loaded_idle: 0,
-            kind: [0; 2],
-            board: vec![0; config.boards.len()],
+            free: SlotMask::empty(total_slots),
+            enabled: SlotMask::empty(total_slots),
+            loaded_idle: SlotMask::empty(total_slots),
+            kind: [SlotMask::empty(total_slots), SlotMask::empty(total_slots)],
+            board: vec![SlotMask::empty(total_slots); config.boards.len()],
         };
         for (board_idx, board) in config.boards.iter().enumerate() {
             for descriptor in board.layout.slots() {
                 let slot_idx = slots.len();
-                assert!(
-                    slot_idx < MAX_SLOTS,
-                    "at most {MAX_SLOTS} slots are supported per run"
-                );
                 let enabled = board_idx == 0;
-                let bit = SlotIndex::bit(slot_idx);
-                index.free |= bit;
+                index.free.insert(slot_idx);
                 if enabled {
-                    index.enabled |= bit;
+                    index.enabled.insert(slot_idx);
                 }
-                index.kind[kind_bit(descriptor.kind)] |= bit;
-                index.board[board_idx] |= bit;
+                index.kind[kind_bit(descriptor.kind)].insert(slot_idx);
+                index.board[board_idx].insert(slot_idx);
                 slots.push(SlotRuntime {
                     descriptor: *descriptor,
                     board: BoardId(board_idx as u32),
@@ -276,6 +282,7 @@ impl SharingSimulator {
             });
         }
         let pr_paths = vec![SerialServer::new(); config.boards.len()];
+        let slot_cols = SlotColumns::from_slots(&slots);
 
         let mut events = EventQueue::with_capacity(Self::event_queue_capacity(
             arrivals.len(),
@@ -304,8 +311,9 @@ impl SharingSimulator {
             pending_arrivals,
             now: SimTime::ZERO,
             events,
-            apps: BTreeMap::new(),
+            apps: AppTable::default(),
             slots,
+            slot_cols,
             index,
             active: Vec::new(),
             cores,
@@ -329,7 +337,8 @@ impl SharingSimulator {
             switch_loop,
             dswitch_trace: Vec::new(),
             migrations: Vec::new(),
-            sweep_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
         }
     }
 
@@ -396,13 +405,16 @@ impl SharingSimulator {
     /// is identical with and without retirement.
     pub fn retire_completed<F: FnMut(&AppRuntime)>(&mut self, mut fold: F) -> usize {
         let mut retired = 0;
-        while let Some(id) = self
-            .apps
-            .iter()
-            .find(|(_, app)| app.state == AppState::Completed)
-            .map(|(id, _)| *id)
-        {
-            let app = self.apps.remove(&id).expect("app present");
+        loop {
+            let Some(id) = self
+                .apps
+                .iter()
+                .find(|app| app.state == AppState::Completed)
+                .map(|app| app.id)
+            else {
+                break;
+            };
+            let app = self.apps.remove(id).expect("app present");
             self.pending_arrivals.remove(&id);
             self.retired_apps += 1;
             self.retired_pr_tasks += self.suite[app.app_index].task_count() as u64;
@@ -462,12 +474,32 @@ impl SharingSimulator {
     ///
     /// Panics if the application has not arrived yet.
     pub fn app(&self, id: AppId) -> &AppRuntime {
-        &self.apps[&id]
+        self.apps.expect(id)
     }
 
     /// The specification an application was instantiated from.
     pub fn spec_of(&self, id: AppId) -> &ApplicationSpec {
-        &self.suite[self.apps[&id].app_index]
+        &self.suite[self.apps.expect(id).app_index]
+    }
+
+    /// The priority inputs of an application — `(arrival, remaining work)` —
+    /// read from the SoA hot columns in O(1).
+    ///
+    /// `remaining work` mirrors [`AppRuntime::remaining_work`] but is
+    /// maintained incrementally, so priority schedulers avoid walking the unit
+    /// vector once per comparison.
+    pub fn priority_inputs(&self, app: AppId) -> (SimTime, SimDuration) {
+        self.apps.priority_inputs(app)
+    }
+
+    /// O(1) column read of [`AppRuntime::unfinished_units`].
+    pub fn unfinished_units(&self, app: AppId) -> u32 {
+        self.apps.unfinished_units(app)
+    }
+
+    /// O(1) column read of [`AppRuntime::unplaced_units`].
+    pub fn unplaced_units(&self, app: AppId) -> u32 {
+        self.apps.unplaced_units(app)
     }
 
     /// All slots (both boards), in construction order.
@@ -477,55 +509,55 @@ impl SharingSimulator {
 
     /// Number of enabled slots of `kind` (the totals Algorithm 1 works with).
     pub fn enabled_slot_total(&self, kind: SlotKind) -> u32 {
-        (self.index.enabled & self.index.kind[kind_bit(kind)]).count_ones()
+        MaskQuery::and(&self.index.enabled, &self.index.kind[kind_bit(kind)]).count() as u32
     }
 
     /// Number of enabled, free slots of `kind`.
     pub fn free_slot_count(&self, kind: SlotKind) -> u32 {
-        (self.index.free & self.index.enabled & self.index.kind[kind_bit(kind)]).count_ones()
+        MaskQuery::grantable(
+            &self.index.free,
+            &self.index.enabled,
+            None,
+            Some(&self.index.kind[kind_bit(kind)]),
+        )
+        .count() as u32
     }
 
-    /// Bitmask of slots that could be granted to `app` right now: free slots on
-    /// an enabled board, plus free slots on the application's home board (so
-    /// pipelines in flight when a cross-board switch happens can drain).
-    /// Restricted to `kind` when given.
-    fn grantable_mask(&self, app: AppId, kind: Option<SlotKind>) -> u64 {
-        let runtime = &self.apps[&app];
-        let mut visible = self.index.enabled;
-        if runtime.started {
-            if let Some(home) = runtime.home_board {
-                visible |= self.index.board[home];
-            }
-        }
-        let mut mask = self.index.free & visible;
-        if let Some(kind) = kind {
-            mask &= self.index.kind[kind_bit(kind)];
-        }
-        mask
+    /// Combined-mask query for the slots grantable to `app` right now: free
+    /// slots on an enabled board, plus free slots on the application's home
+    /// board (so pipelines in flight when a cross-board switch happens can
+    /// drain).  Restricted to `kind` when given.  Evaluated lazily word by
+    /// word — no combined mask is ever materialised.
+    fn grantable_query(&self, app: AppId, kind: Option<SlotKind>) -> MaskQuery<'_> {
+        let runtime = self.apps.expect(app);
+        let home = runtime
+            .started
+            .then_some(runtime.home_board)
+            .flatten()
+            .map(|home| &self.index.board[home]);
+        MaskQuery::grantable(
+            &self.index.free,
+            &self.index.enabled,
+            home,
+            kind.map(|kind| &self.index.kind[kind_bit(kind)]),
+        )
     }
 
     /// Iterates the indices of slots grantable to `app` in ascending order,
     /// without allocating.
-    pub fn grantable_slots(&self, app: AppId, kind: Option<SlotKind>) -> SlotIndexIter {
-        SlotIndexIter {
-            mask: self.grantable_mask(app, kind),
-        }
+    pub fn grantable_slots(&self, app: AppId, kind: Option<SlotKind>) -> SlotIndexIter<'_> {
+        self.grantable_query(app, kind).iter()
     }
 
     /// The lowest-indexed slot grantable to `app`, if any — the slot the
-    /// first-fit policies pick, in O(1).
+    /// first-fit policies pick, via a word scan.
     pub fn first_grantable_slot(&self, app: AppId, kind: Option<SlotKind>) -> Option<usize> {
-        let mask = self.grantable_mask(app, kind);
-        if mask == 0 {
-            None
-        } else {
-            Some(mask.trailing_zeros() as usize)
-        }
+        self.grantable_query(app, kind).first()
     }
 
-    /// Whether any slot is grantable to `app`, in O(1).
+    /// Whether any slot is grantable to `app`, via a word scan.
     pub fn has_grantable_slot(&self, app: AppId, kind: Option<SlotKind>) -> bool {
-        self.grantable_mask(app, kind) != 0
+        self.grantable_query(app, kind).any()
     }
 
     /// Appends the indices of slots grantable to `app` to `scratch` (ascending,
@@ -550,16 +582,14 @@ impl SharingSimulator {
 
     /// Iterates the indices of loaded, idle slots of `kind` (the preemption
     /// candidates) in ascending order, without allocating.
-    pub fn loaded_idle_slots(&self, kind: SlotKind) -> SlotIndexIter {
-        SlotIndexIter {
-            mask: self.index.loaded_idle & self.index.kind[kind_bit(kind)],
-        }
+    pub fn loaded_idle_slots(&self, kind: SlotKind) -> SlotIndexIter<'_> {
+        MaskQuery::and(&self.index.loaded_idle, &self.index.kind[kind_bit(kind)]).iter()
     }
 
     /// Number of (Big, Little) slots currently occupied by `app` (loading or
     /// loaded) — an O(1) counter read.
     pub fn slots_in_use_by(&self, app: AppId) -> (u32, u32) {
-        let runtime = &self.apps[&app];
+        let runtime = self.apps.expect(app);
         (runtime.in_use_big, runtime.in_use_little)
     }
 
@@ -626,8 +656,8 @@ impl SharingSimulator {
     // ------------------------------------------------------------------
 
     fn index_slot_granted(&mut self, slot_idx: usize, app_id: AppId, slot_kind: SlotKind) {
-        self.index.free &= !SlotIndex::bit(slot_idx);
-        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        self.index.free.remove(slot_idx);
+        let app = self.apps.expect_mut(app_id);
         match slot_kind {
             SlotKind::Big => app.in_use_big += 1,
             SlotKind::Little => app.in_use_little += 1,
@@ -635,10 +665,9 @@ impl SharingSimulator {
     }
 
     fn index_slot_freed(&mut self, slot_idx: usize, app_id: AppId, slot_kind: SlotKind) {
-        let bit = SlotIndex::bit(slot_idx);
-        self.index.free |= bit;
-        self.index.loaded_idle &= !bit;
-        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        self.index.free.insert(slot_idx);
+        self.index.loaded_idle.remove(slot_idx);
+        let app = self.apps.expect_mut(app_id);
         match slot_kind {
             SlotKind::Big => app.in_use_big -= 1,
             SlotKind::Little => app.in_use_little -= 1,
@@ -646,11 +675,11 @@ impl SharingSimulator {
     }
 
     fn index_slot_loaded_idle(&mut self, slot_idx: usize) {
-        self.index.loaded_idle |= SlotIndex::bit(slot_idx);
+        self.index.loaded_idle.insert(slot_idx);
     }
 
     fn index_slot_busy(&mut self, slot_idx: usize) {
-        self.index.loaded_idle &= !SlotIndex::bit(slot_idx);
+        self.index.loaded_idle.remove(slot_idx);
     }
 
     fn index_app_arrived(&mut self, id: AppId) {
@@ -666,11 +695,16 @@ impl SharingSimulator {
         }
     }
 
-    fn index_board_enabled(&mut self, board: usize, enabled: bool) {
+    fn index_board_enabled(&mut self, board_idx: usize, enabled: bool) {
+        let SlotIndex {
+            enabled: enabled_mask,
+            board,
+            ..
+        } = &mut self.index;
         if enabled {
-            self.index.enabled |= self.index.board[board];
+            enabled_mask.union_with(&board[board_idx]);
         } else {
-            self.index.enabled &= !self.index.board[board];
+            enabled_mask.subtract(&board[board_idx]);
         }
     }
 
@@ -683,21 +717,31 @@ impl SharingSimulator {
     ///
     /// Panics when an incremental index disagrees with the naive recount.
     pub fn verify_indexes(&self) {
-        let mut free = 0u64;
-        let mut enabled = 0u64;
-        let mut loaded_idle = 0u64;
+        let bits = self.slots.len();
+        let mut free = SlotMask::empty(bits);
+        let mut enabled = SlotMask::empty(bits);
+        let mut loaded_idle = SlotMask::empty(bits);
         let mut in_use: BTreeMap<AppId, (u32, u32)> = BTreeMap::new();
         for (idx, slot) in self.slots.iter().enumerate() {
-            let bit = SlotIndex::bit(idx);
             if slot.is_free() {
-                free |= bit;
+                free.insert(idx);
             }
             if slot.enabled {
-                enabled |= bit;
+                enabled.insert(idx);
             }
             if matches!(slot.state, SlotState::Loaded { busy: false, .. }) {
-                loaded_idle |= bit;
+                loaded_idle.insert(idx);
             }
+            assert_eq!(
+                self.slot_cols.kind(idx),
+                slot.descriptor.kind,
+                "slot kind column diverged"
+            );
+            assert_eq!(
+                self.slot_cols.board(idx),
+                slot.board.0 as usize,
+                "slot board column diverged"
+            );
             if let Some(app) = slot.occupant() {
                 let entry = in_use.entry(app).or_insert((0, 0));
                 match slot.descriptor.kind {
@@ -712,17 +756,19 @@ impl SharingSimulator {
             self.index.loaded_idle, loaded_idle,
             "loaded-idle mask diverged"
         );
-        for (id, app) in &self.apps {
-            let (big, little) = in_use.get(id).copied().unwrap_or((0, 0));
+        for app in self.apps.iter() {
+            let (big, little) = in_use.get(&app.id).copied().unwrap_or((0, 0));
             assert_eq!(
                 (app.in_use_big, app.in_use_little),
                 (big, little),
-                "occupancy counters of {id} diverged"
+                "occupancy counters of {} diverged",
+                app.id
             );
         }
+        self.apps.verify_columns();
         let naive_active: Vec<AppId> = self
             .apps
-            .values()
+            .iter()
             .filter(|a| a.state != AppState::Completed)
             .map(|a| a.id)
             .collect();
@@ -763,11 +809,14 @@ impl SharingSimulator {
 
         let dma = self.config.boards[slot_board].dma;
 
-        let unit_idx = {
+        let (unit_idx, rebuilt) = {
             // Borrow the suite and the application table simultaneously (disjoint
             // fields) so no per-grant specification clone is needed.
             let suite = &self.suite;
-            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            let app = match self.apps.get_mut(app_id) {
+                Some(app) => app,
+                None => panic!("unknown application {app_id}"),
+            };
             let spec = &suite[app.app_index];
             if app.state == AppState::Completed {
                 return false;
@@ -778,6 +827,7 @@ impl SharingSimulator {
             if app.started && app.mode != target_mode {
                 return false;
             }
+            let mut rebuilt = false;
             if !app.started && app.mode != target_mode {
                 if target_mode == ExecMode::Big && !spec.can_bundle() {
                     return false;
@@ -790,12 +840,22 @@ impl SharingSimulator {
                         .unwrap_or(0),
                 );
                 app.rebuild_units(spec, target_mode, dma_per_item);
+                rebuilt = true;
             }
             match app.next_unit_to_place() {
-                Some(idx) => idx,
-                None => return false,
+                Some(idx) => (idx, rebuilt),
+                None => {
+                    // A mode rebuild with no placeable unit cannot happen (a
+                    // rebuild implies an unstarted app whose units are all
+                    // unplaced), so the columns never see a half-applied grant.
+                    debug_assert!(!rebuilt);
+                    return false;
+                }
             }
         };
+        if rebuilt {
+            self.apps.refresh_columns(app_id);
+        }
 
         // Model the PR as the paper describes it: the PR server reads the
         // pre-generated bitstream from the SD card into memory and then pushes it
@@ -827,7 +887,7 @@ impl SharingSimulator {
         issuing_core.block(now, pcap_load);
 
         {
-            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            let app = self.apps.expect_mut(app_id);
             if queued {
                 self.blocked_events += 1;
                 self.window_blocked += 1;
@@ -846,6 +906,7 @@ impl SharingSimulator {
                 app.used_big = true;
             }
         }
+        self.apps.note_unit_placed(app_id);
 
         self.slots[slot_idx].state = SlotState::Reconfiguring {
             app: app_id,
@@ -893,11 +954,13 @@ impl SharingSimulator {
             } => (app, unit),
             _ => return false,
         };
-        let slot_kind = self.slots[slot_idx].descriptor.kind;
+        let slot_kind = self.slot_cols.kind(slot_idx);
         self.slots[slot_idx].state = SlotState::Free;
         self.index_slot_freed(slot_idx, app_id, slot_kind);
-        let app = self.apps.get_mut(&app_id).expect("unknown application");
+        let app = self.apps.expect_mut(app_id);
         app.units[unit_idx].slot = None;
+        // A loaded slot always hosts an unfinished unit, so it is unplaced now.
+        self.apps.note_unit_unplaced(app_id);
         self.trace.log(
             self.now,
             TraceKind::SlotPreempted,
@@ -914,13 +977,15 @@ impl SharingSimulator {
     // Simulation loop
     // ------------------------------------------------------------------
 
-    /// Processes the next pending event (followed by one scheduling pass of
-    /// `policy` and a launch sweep) and returns `true`, or returns `false` when
-    /// the event queue is empty.
+    /// Processes the next pending event and returns `true`, or returns `false`
+    /// when the event queue is empty.
     ///
-    /// [`Self::run`] drives this to completion; tests can interleave calls with
-    /// [`Self::verify_indexes`] to check the incremental indexes after every
-    /// event.
+    /// The scheduling pass and launch sweep run once per simulation *instant*:
+    /// they are deferred while further events share the current timestamp, so
+    /// stepping event by event produces byte-identical results to the batched
+    /// [`Self::step_batch`] loop (which is what [`Self::run`] uses).  Tests can
+    /// interleave calls with [`Self::verify_indexes`] to check the incremental
+    /// indexes after every event.
     ///
     /// # Panics
     ///
@@ -931,15 +996,16 @@ impl SharingSimulator {
         };
         debug_assert!(time >= self.now, "event time went backwards");
         self.now = time;
-        self.handle_event(event);
-        policy.schedule(self);
-        self.launch_sweep();
+        self.apply_event(event);
         self.events_processed += 1;
         assert!(
             self.events_processed < MAX_EVENTS,
             "simulation exceeded {MAX_EVENTS} events — livelock in policy `{}`?",
             policy.name()
         );
+        if self.events.peek_time() != Some(self.now) {
+            self.flush_pass(policy);
+        }
         #[cfg(debug_assertions)]
         self.verify_indexes();
         debug_assert_eq!(
@@ -951,31 +1017,158 @@ impl SharingSimulator {
         true
     }
 
-    /// Runs the simulation to completion under `policy` and returns the report.
+    /// Processes *every* event of the next pending simulation instant as one
+    /// batch — state transitions first, then a single scheduling pass and
+    /// launch sweep — and returns `true`, or returns `false` when the event
+    /// queue is empty.
+    ///
+    /// This is the engine's hot loop: under bursty arrivals and synchronized
+    /// PR/item completions it replaces one policy pass per event with one per
+    /// instant.  The result is byte-identical to driving [`Self::step`] event
+    /// by event, which defers its pass the same way (asserted by the
+    /// determinism tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event bound is exceeded.
+    pub fn step_batch(&mut self, policy: &mut dyn Policy) -> bool {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        let Some(time) = self.events.pop_batch(&mut batch) else {
+            self.batch_scratch = batch;
+            return false;
+        };
+        debug_assert!(time >= self.now, "event time went backwards");
+        self.now = time;
+        loop {
+            for &event in &batch {
+                self.apply_event(event);
+                self.events_processed += 1;
+            }
+            assert!(
+                self.events_processed < MAX_EVENTS,
+                "simulation exceeded {MAX_EVENTS} events — livelock in policy `{}`?",
+                policy.name()
+            );
+            batch.clear();
+            // Handlers may schedule follow-up events for this same instant
+            // (e.g. a zero-overhead switch); keep draining so the scheduling
+            // pass runs once per instant, exactly like the per-event path.
+            if self.events.drain_at(time, &mut batch) == 0 {
+                break;
+            }
+        }
+        self.batch_scratch = batch;
+        self.flush_pass(policy);
+        #[cfg(debug_assertions)]
+        self.verify_indexes();
+        debug_assert_eq!(
+            self.events.grow_events(),
+            0,
+            "the pre-sized event queue should never grow ({} events pending)",
+            self.events.len()
+        );
+        true
+    }
+
+    /// Runs the simulation to completion under `policy` (batched hot loop) and
+    /// returns the report.
     ///
     /// # Panics
     ///
     /// Panics if the policy starves an application (the event queue drains while
     /// unfinished applications remain) or the event bound is exceeded.
     pub fn run(&mut self, policy: &mut dyn Policy) -> RunReport {
-        while self.step(policy) {}
+        while self.step_batch(policy) {}
+        self.finish_run(policy)
+    }
 
+    /// Runs the simulation to completion one event at a time.
+    ///
+    /// Produces a report byte-identical to [`Self::run`] — the determinism
+    /// tests and the `bench_compare` baseline drive this path to prove the
+    /// batched loop changes throughput, not behaviour.
+    pub fn run_per_event(&mut self, policy: &mut dyn Policy) -> RunReport {
+        while self.step(policy) {}
+        self.finish_run(policy)
+    }
+
+    fn finish_run(&mut self, policy: &mut dyn Policy) -> RunReport {
         assert!(
             self.active.is_empty() && self.apps.len() == self.pending_arrivals.len(),
             "policy `{}` left applications unfinished: {:?}",
             policy.name(),
             self.active
         );
-
         self.build_report(policy.name())
     }
 
-    fn handle_event(&mut self, event: Event) {
-        match event {
-            Event::Arrival(id) => self.handle_arrival(id),
-            Event::PrComplete { slot } => self.handle_pr_complete(slot),
-            Event::ItemComplete { slot } => self.handle_item_complete(slot),
-            Event::SwitchComplete { board } => self.handle_switch_complete(board),
+    /// Applies one event's state transition and records which application's
+    /// units progressed (the only launch-sweep candidates: launches depend
+    /// solely on an app's own slot states and intra-pipeline progress).
+    fn apply_event(&mut self, event: Event) {
+        let touched = match event {
+            Event::Arrival(id) => {
+                self.handle_arrival(id);
+                None
+            }
+            Event::PrComplete { slot } => Some(self.handle_pr_complete(slot)),
+            Event::ItemComplete { slot } => Some(self.handle_item_complete(slot)),
+            Event::SwitchComplete { board } => {
+                self.handle_switch_complete(board);
+                None
+            }
+        };
+        if let Some(app) = touched {
+            if !self.touched_scratch.contains(&app) {
+                self.touched_scratch.push(app);
+            }
+        }
+    }
+
+    /// One scheduling pass of `policy` followed by a launch sweep over every
+    /// application touched since the previous pass.  Runs once per simulation
+    /// instant, from both execution paths.
+    fn flush_pass(&mut self, policy: &mut dyn Policy) {
+        policy.schedule(self);
+        let touched = std::mem::take(&mut self.touched_scratch);
+        for &app_id in &touched {
+            self.launch_sweep_app(app_id);
+        }
+        self.touched_scratch = touched;
+        self.touched_scratch.clear();
+        #[cfg(debug_assertions)]
+        self.debug_assert_no_launchable();
+    }
+
+    /// Debug cross-check of the targeted launch sweep: after a scheduling
+    /// pass, no launchable item may remain anywhere — including in apps the
+    /// sweep skipped as untouched.
+    #[cfg(debug_assertions)]
+    fn debug_assert_no_launchable(&self) {
+        for app in self.apps.iter() {
+            if app.state != AppState::Running {
+                continue;
+            }
+            for (unit_idx, unit) in app.units.iter().enumerate() {
+                let Some(slot_idx) = unit.slot else { continue };
+                if unit.items_done >= app.batch {
+                    continue;
+                }
+                if !matches!(
+                    self.slots[slot_idx].state,
+                    SlotState::Loaded { busy: false, .. }
+                ) {
+                    continue;
+                }
+                if unit_idx > 0 && app.units[unit_idx - 1].items_done <= unit.items_done {
+                    continue;
+                }
+                panic!(
+                    "launchable unit {unit_idx} of {} left unlaunched after a scheduling pass",
+                    app.id
+                );
+            }
         }
     }
 
@@ -1001,13 +1194,13 @@ impl SharingSimulator {
                 suite_index: arrival.app_index as u32,
             },
         );
-        self.apps.insert(id, app);
+        self.apps.insert(app);
         self.index_app_arrived(id);
         self.arrivals_admitted += 1;
         self.candidate_queue_updated();
     }
 
-    fn handle_pr_complete(&mut self, slot_idx: usize) {
+    fn handle_pr_complete(&mut self, slot_idx: usize) -> AppId {
         let (app, unit) = match self.slots[slot_idx].state {
             SlotState::Reconfiguring { app, unit } => (app, unit),
             other => panic!("PR completion on a slot in state {other:?}"),
@@ -1027,9 +1220,10 @@ impl SharingSimulator {
             TraceDetail::None,
         );
         self.refresh_utilization();
+        app
     }
 
-    fn handle_item_complete(&mut self, slot_idx: usize) {
+    fn handle_item_complete(&mut self, slot_idx: usize) -> AppId {
         let (app_id, unit_idx) = match self.slots[slot_idx].state {
             SlotState::Loaded {
                 app,
@@ -1039,16 +1233,22 @@ impl SharingSimulator {
             other => panic!("item completion on a slot in state {other:?}"),
         };
 
-        let (unit_finished, app_finished, batch) = {
-            let app = self.apps.get_mut(&app_id).expect("unknown application");
+        let (unit_finished, app_finished, batch, per_item) = {
+            let app = self.apps.expect_mut(app_id);
             app.units[unit_idx].items_done += 1;
             app.units[unit_idx].items_since_load += 1;
             let unit_finished = app.units[unit_idx].items_done >= app.batch;
             if unit_finished {
                 app.units[unit_idx].slot = None;
             }
-            (unit_finished, app.is_finished(), app.batch)
+            (
+                unit_finished,
+                app.is_finished(),
+                app.batch,
+                app.units[unit_idx].per_item,
+            )
         };
+        self.apps.note_item_done(app_id, per_item, unit_finished);
 
         self.trace.log(
             self.now,
@@ -1060,7 +1260,7 @@ impl SharingSimulator {
         );
 
         if unit_finished {
-            let slot_kind = self.slots[slot_idx].descriptor.kind;
+            let slot_kind = self.slot_cols.kind(slot_idx);
             self.slots[slot_idx].state = SlotState::Free;
             self.index_slot_freed(slot_idx, app_id, slot_kind);
             self.trace.log(
@@ -1081,7 +1281,7 @@ impl SharingSimulator {
         }
 
         if app_finished {
-            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            let app = self.apps.expect_mut(app_id);
             app.state = AppState::Completed;
             app.completion = Some(self.now);
             self.index_app_completed(app_id);
@@ -1096,6 +1296,7 @@ impl SharingSimulator {
             self.candidate_queue_updated();
         }
         self.refresh_utilization();
+        app_id
     }
 
     fn handle_switch_complete(&mut self, board: usize) {
@@ -1119,27 +1320,29 @@ impl SharingSimulator {
         );
     }
 
-    /// Launches every batch item that is ready: its unit is loaded in an idle slot,
-    /// the predecessor unit has produced the next item, and the batch is not done.
-    fn launch_sweep(&mut self) {
-        let mut ids = std::mem::take(&mut self.sweep_scratch);
-        ids.clear();
-        ids.extend(self.active.iter().copied());
-        for &app_id in &ids {
-            if self.apps[&app_id].state != AppState::Running {
-                continue;
-            }
-            let unit_count = self.apps[&app_id].units.len();
-            for unit_idx in 0..unit_count {
-                self.try_launch(app_id, unit_idx);
-            }
+    /// Launches every batch item of `app_id` that is ready: its unit is loaded
+    /// in an idle slot, the predecessor unit has produced the next item, and
+    /// the batch is not done.
+    ///
+    /// Only applications whose own units progressed since the last pass can
+    /// have become launchable (grants produce `Reconfiguring` slots, releases
+    /// remove idle slots, and launches never cross application boundaries), so
+    /// [`Self::flush_pass`] sweeps just the touched set —
+    /// [`Self::debug_assert_no_launchable`] cross-checks the claim in debug
+    /// builds.
+    fn launch_sweep_app(&mut self, app_id: AppId) {
+        let unit_count = match self.apps.get(app_id) {
+            Some(app) if app.state == AppState::Running => app.units.len(),
+            _ => return,
+        };
+        for unit_idx in 0..unit_count {
+            self.try_launch(app_id, unit_idx);
         }
-        self.sweep_scratch = ids;
     }
 
     fn try_launch(&mut self, app_id: AppId, unit_idx: usize) {
         let (slot_idx, duration) = {
-            let app = &self.apps[&app_id];
+            let app = self.apps.expect(app_id);
             if app.state != AppState::Running {
                 return;
             }
@@ -1160,7 +1363,7 @@ impl SharingSimulator {
             (slot_idx, unit.next_item_duration())
         };
 
-        let board = self.slots[slot_idx].board.0 as usize;
+        let board = self.slot_cols.board(slot_idx);
         let cores = &mut self.cores[board];
         let blocked =
             cores.sched.earliest_start(self.now) > self.now + self.config.blocked_threshold;
@@ -1170,7 +1373,7 @@ impl SharingSimulator {
         if blocked {
             self.blocked_events += 1;
             self.window_blocked += 1;
-            let app = self.apps.get_mut(&app_id).expect("unknown application");
+            let app = self.apps.expect_mut(app_id);
             if !app.units[unit_idx].blocked_counted {
                 app.units[unit_idx].blocked_counted = true;
                 self.blocked_tasks += 1;
@@ -1217,7 +1420,7 @@ impl SharingSimulator {
         let pr_tasks: u64 = self.retired_pr_tasks
             + self
                 .apps
-                .values()
+                .iter()
                 .filter(|a| a.started || a.state == AppState::Completed)
                 .map(|a| self.suite[a.app_index].task_count() as u64)
                 .sum::<u64>();
@@ -1225,7 +1428,7 @@ impl SharingSimulator {
         let candidate_batch: u64 = self
             .active
             .iter()
-            .map(|id| self.apps[id].batch as u64)
+            .map(|id| self.apps.expect(*id).batch as u64)
             .sum();
         let inputs = DswitchInputs {
             blocked_tasks: self.window_blocked,
@@ -1348,7 +1551,7 @@ impl SharingSimulator {
                 SlotState::Reconfiguring { .. } => occupied += 1,
                 SlotState::Loaded { app, unit, .. } => {
                     occupied += 1;
-                    let runtime = &self.apps[&app];
+                    let runtime = self.apps.expect(app);
                     let spec = &self.suite[runtime.app_index];
                     let resources = match runtime.units[unit].unit {
                         ExecUnit::Task(i) => spec.tasks()[i as usize].little_impl(),
@@ -1374,7 +1577,7 @@ impl SharingSimulator {
     fn build_report(&self, scheduler: &str) -> RunReport {
         let mut apps: Vec<AppRecord> = self
             .apps
-            .values()
+            .iter()
             .map(|a| AppRecord {
                 id: a.id,
                 app_index: a.app_index,
@@ -1581,6 +1784,53 @@ mod tests {
             }
         }
         assert_eq!(sim.event_queue_grow_events(), 0);
+    }
+
+    /// End-to-end on a board wider than one mask word: 160 Little slots span
+    /// three 64-bit words (past the 128-bit inline region into the spill
+    /// vector), and the run must complete with the incremental indexes agreeing
+    /// with a naive recount throughout.
+    #[test]
+    fn wide_board_with_more_than_64_slots_runs_to_completion() {
+        let board = BoardSpec::zcu216_only_little().with_layout(
+            versaslot_fpga::slot::SlotLayout::with_counts(
+                0,
+                160,
+                BoardSpec::zcu216_little_capacity(),
+            ),
+        );
+        let arrivals: Vec<AppArrival> = (0..24)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    BenchmarkApp::ImageCompression.suite_index(),
+                    5,
+                    SimTime::from_millis(u64::from(i) * 20),
+                )
+            })
+            .collect();
+        let mut sim = SharingSimulator::new(
+            SystemConfig::single_board(board),
+            BenchmarkApp::suite(),
+            &arrivals,
+        );
+        let mut policy = VersaSlotPolicy::new();
+        let mut steps = 0u32;
+        let mut saw_high_slot = false;
+        while sim.step_batch(&mut policy) {
+            steps += 1;
+            if steps.is_multiple_of(64) {
+                sim.verify_indexes();
+            }
+            saw_high_slot |= sim.slots()[64..].iter().any(|s| !s.is_free());
+        }
+        sim.verify_indexes();
+        let report = sim.build_report("wide-board");
+        assert_eq!(report.completed(), 24);
+        assert!(
+            saw_high_slot,
+            "no slot beyond the first mask word was ever occupied"
+        );
     }
 
     #[test]

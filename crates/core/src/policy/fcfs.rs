@@ -9,7 +9,7 @@
 use versaslot_fpga::slot::SlotKind;
 use versaslot_workload::AppId;
 
-use super::{grant_little_slots, unplaced_demand, Policy};
+use super::{grant_little_slots, unplaced_demand, Policy, ScratchMeter};
 use crate::engine::SharingSimulator;
 
 /// First-come-first-served slot allocation (single-core comparator).
@@ -17,6 +17,7 @@ use crate::engine::SharingSimulator;
 pub struct FcfsPolicy {
     /// Reusable application list (no steady-state allocation).
     scratch: Vec<AppId>,
+    meter: ScratchMeter,
 }
 
 impl FcfsPolicy {
@@ -31,11 +32,16 @@ impl Policy for FcfsPolicy {
         "fcfs"
     }
 
+    fn scratch_allocs(&self) -> u64 {
+        self.meter.allocs()
+    }
+
     fn schedule(&mut self, sim: &mut SharingSimulator) {
         // Arrival order == AppId order; the engine's active set is already sorted
         // by identifier.
         self.scratch.clear();
         self.scratch.extend_from_slice(sim.active_apps());
+        self.meter.observe(self.scratch.capacity());
         let slot_total = sim.enabled_slot_total(SlotKind::Little).max(1);
         for i in 0..self.scratch.len() {
             let app = self.scratch[i];

@@ -38,21 +38,94 @@ use crate::engine::SharingSimulator;
 
 /// A slot-granting scheduling policy.
 ///
-/// The simulator calls [`Policy::schedule`] after every event (arrival, PR
-/// completion, batch completion, switch completion); the policy reacts by granting
-/// free slots to applications via [`SharingSimulator::grant_slot`].
+/// The simulator calls [`Policy::schedule`] once per simulation instant (after
+/// every batch of same-timestamp events); the policy reacts by granting free
+/// slots to applications via [`SharingSimulator::grant_slot`].
 pub trait Policy {
     /// Stable identifier used in reports (e.g. `"nimblock"`).
     fn name(&self) -> &'static str;
 
     /// One scheduling pass over the current system state.
     fn schedule(&mut self, sim: &mut SharingSimulator);
+
+    /// How many times this policy's reusable scratch buffers have grown, the
+    /// policy-side mirror of [`versaslot_sim::EventQueue::grow_events`].
+    ///
+    /// Stays constant once the buffers reach their high-water capacity, so a
+    /// steady value across passes certifies an allocation-free scheduling pass.
+    fn scratch_allocs(&self) -> u64 {
+        0
+    }
+}
+
+/// Tracks capacity growth of a policy's reusable scratch buffers.
+///
+/// Feed it the *total* capacity of every scratch buffer after each pass: since
+/// `Vec` capacities never shrink under `clear()`, the total is monotone and each
+/// strict increase corresponds to at least one heap (re)allocation.  Mirrors the
+/// accounting style of `EventQueue::grow_events`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScratchMeter {
+    high_water: usize,
+    allocs: u64,
+}
+
+impl ScratchMeter {
+    /// Records the current total scratch capacity, counting growth events.
+    pub fn observe(&mut self, total_capacity: usize) {
+        if total_capacity > self.high_water {
+            self.high_water = total_capacity;
+            self.allocs += 1;
+        }
+    }
+
+    /// Number of observed growth events so far.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
 }
 
 /// Number of unfinished, unplaced execution units of `app` — the natural "demand"
 /// of an application that wants one slot per remaining pipeline stage.
+///
+/// Served from the engine's SoA demand column in O(1), without touching the
+/// application row.
 pub fn unplaced_demand(sim: &SharingSimulator, app: AppId) -> u32 {
-    sim.app(app).unplaced_units()
+    sim.unplaced_units(app)
+}
+
+/// Ageing priority shared by the priority-ordered policies: time waited divided
+/// by remaining work, so small or long-waiting applications rise to the front.
+///
+/// Reads the arrival/remaining-work SoA columns ([`SharingSimulator::priority_inputs`])
+/// rather than walking the application's unit table.
+pub fn ageing_priority(sim: &SharingSimulator, app: AppId) -> f64 {
+    let (arrival, remaining) = sim.priority_inputs(app);
+    let waited = sim.now().saturating_since(arrival).as_millis_f64();
+    (waited + 1.0) / remaining.as_millis_f64().max(1.0)
+}
+
+/// Sorts `list` by descending [`ageing_priority`] (ties broken by ascending id),
+/// computing each priority exactly once via the reusable `keyed` scratch buffer.
+///
+/// The comparator is identical to sorting the ids directly with per-comparison
+/// priority recomputation — priorities are pure functions of pre-pass state — so
+/// the resulting permutation (and therefore every report) is unchanged; the
+/// difference is O(n) instead of O(n log n) priority evaluations.
+pub fn sort_by_priority(
+    sim: &SharingSimulator,
+    keyed: &mut Vec<(f64, AppId)>,
+    list: &mut Vec<AppId>,
+) {
+    keyed.clear();
+    keyed.extend(list.iter().map(|&app| (ageing_priority(sim, app), app)));
+    keyed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("priorities are finite")
+            .then(a.1.cmp(&b.1))
+    });
+    list.clear();
+    list.extend(keyed.iter().map(|&(_, app)| app));
 }
 
 /// Grants up to `want` Little slots to `app`, returning how many grants succeeded.
@@ -95,8 +168,7 @@ pub const PREEMPTION_QUANTUM: u32 = 6;
 /// Returns `true` if a slot was preempted.
 pub fn preempt_for_starving_apps(sim: &mut SharingSimulator, quantum: u32) -> bool {
     let starving = sim.active_apps().iter().any(|&app| {
-        let runtime = sim.app(app);
-        runtime.unplaced_units() > 0
+        sim.unplaced_units(app) > 0
             && sim.slots_in_use_by(app) == (0, 0)
             && !sim.has_grantable_slot(app, Some(SlotKind::Little))
     });
@@ -230,5 +302,67 @@ mod tests {
             "expected preemption PRs, got {}",
             report.total_pr
         );
+    }
+
+    /// The scratch audit: after one warm-up run has grown every reusable buffer
+    /// to its high-water capacity, a second identical run must not allocate —
+    /// [`Policy::scratch_allocs`] (the policy-side mirror of the event queue's
+    /// `grow_events`) stays constant across all of its passes.
+    #[test]
+    fn scheduling_passes_are_allocation_free_after_warmup() {
+        use crate::policy::fcfs::FcfsPolicy;
+        use crate::policy::nimblock::NimblockPolicy;
+        use crate::policy::round_robin::RoundRobinPolicy;
+        use crate::policy::versaslot::VersaSlotPolicy;
+
+        let kinds = [
+            BenchmarkApp::ImageCompression,
+            BenchmarkApp::AlexNet,
+            BenchmarkApp::OpticalFlow,
+            BenchmarkApp::LeNet,
+            BenchmarkApp::Rendering3D,
+        ];
+        let arrivals: Vec<AppArrival> = (0..10u32)
+            .map(|i| {
+                AppArrival::new(
+                    AppId(i),
+                    kinds[i as usize % kinds.len()].suite_index(),
+                    8 + (i % 5),
+                    SimTime::ZERO + versaslot_sim::SimDuration::from_millis(u64::from(i) * 120),
+                )
+            })
+            .collect();
+        let run_once = |policy: &mut dyn Policy| {
+            let mut sim = SharingSimulator::new(
+                SystemConfig::single_board(BoardSpec::zcu216_big_little()),
+                BenchmarkApp::suite(),
+                &arrivals,
+            );
+            let report = sim.run(policy);
+            assert_eq!(report.completed(), 10, "{}", policy.name());
+        };
+
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(FcfsPolicy::new()),
+            Box::new(RoundRobinPolicy::new()),
+            Box::new(NimblockPolicy::new()),
+            Box::new(VersaSlotPolicy::new()),
+        ];
+        for policy in &mut policies {
+            run_once(policy.as_mut());
+            let warm = policy.scratch_allocs();
+            assert!(
+                warm > 0,
+                "{} never grew its scratch — the meter is not wired up",
+                policy.name()
+            );
+            run_once(policy.as_mut());
+            assert_eq!(
+                policy.scratch_allocs(),
+                warm,
+                "{} allocated scratch after warm-up",
+                policy.name()
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use versaslot_workload::AppId;
 
-use super::{unplaced_demand, Policy};
+use super::{sort_by_priority, unplaced_demand, Policy, ScratchMeter};
 use crate::engine::SharingSimulator;
 use crate::ilp::optimal_little_slots;
 
@@ -28,6 +28,9 @@ pub struct NimblockPolicy {
     optimal_cache: BTreeMap<AppId, u32>,
     /// Reusable priority-sorted application list (no steady-state allocation).
     scratch: Vec<AppId>,
+    /// Reusable (priority, id) pairs so each priority is computed once per pass.
+    keyed: Vec<(f64, AppId)>,
+    meter: ScratchMeter,
 }
 
 impl NimblockPolicy {
@@ -45,20 +48,15 @@ impl NimblockPolicy {
         self.optimal_cache.insert(app, value);
         value
     }
-
-    /// Priority with ageing: time waited divided by remaining work, so small or
-    /// long-waiting applications rise to the front.
-    fn priority(sim: &SharingSimulator, app: AppId) -> f64 {
-        let runtime = sim.app(app);
-        let waited = sim.now().saturating_since(runtime.arrival).as_millis_f64();
-        let remaining = runtime.remaining_work().as_millis_f64().max(1.0);
-        (waited + 1.0) / remaining
-    }
 }
 
 impl Policy for NimblockPolicy {
     fn name(&self) -> &'static str {
         "nimblock"
+    }
+
+    fn scratch_allocs(&self) -> u64 {
+        self.meter.allocs()
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
@@ -70,14 +68,11 @@ impl Policy for NimblockPolicy {
         // not starved; preemption happens at item boundaries after a quantum.
         super::preempt_for_starving_apps(sim, super::PREEMPTION_QUANTUM);
 
+        // Priority with ageing (see `ageing_priority`): each priority is computed
+        // once from the SoA columns, then the list is sorted on the cached keys.
         self.scratch.clear();
         self.scratch.extend_from_slice(sim.active_apps());
-        self.scratch.sort_by(|a, b| {
-            Self::priority(sim, *b)
-                .partial_cmp(&Self::priority(sim, *a))
-                .expect("priorities are finite")
-                .then(a.cmp(b))
-        });
+        sort_by_priority(sim, &mut self.keyed, &mut self.scratch);
 
         let contended = self.scratch.len() > 1;
 
@@ -105,6 +100,9 @@ impl Policy for NimblockPolicy {
                 super::grant_little_slots(sim, app, want);
             }
         }
+
+        self.meter
+            .observe(self.scratch.capacity() + self.keyed.capacity());
     }
 }
 

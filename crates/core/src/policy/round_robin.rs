@@ -9,7 +9,7 @@
 use versaslot_fpga::slot::SlotKind;
 use versaslot_workload::AppId;
 
-use super::{unplaced_demand, Policy};
+use super::{unplaced_demand, Policy, ScratchMeter};
 use crate::engine::SharingSimulator;
 
 /// Round-robin slot allocation (single-core comparator).
@@ -18,6 +18,7 @@ pub struct RoundRobinPolicy {
     cursor: usize,
     /// Reusable needy-application list (no steady-state allocation).
     needy: Vec<AppId>,
+    meter: ScratchMeter,
 }
 
 impl RoundRobinPolicy {
@@ -30,6 +31,10 @@ impl RoundRobinPolicy {
 impl Policy for RoundRobinPolicy {
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn scratch_allocs(&self) -> u64 {
+        self.meter.allocs()
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
@@ -71,6 +76,7 @@ impl Policy for RoundRobinPolicy {
                 break;
             }
         }
+        self.meter.observe(self.needy.capacity());
     }
 }
 

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use versaslot_fpga::slot::SlotKind;
 use versaslot_workload::AppId;
 
-use super::Policy;
+use super::{sort_by_priority, Policy, ScratchMeter};
 use crate::allocation::{allocate, AllocInputs, AllocationState, AppAllocInfo};
 use crate::engine::{AppState, SharingSimulator};
 use crate::ilp::{optimal_big_slots, optimal_little_slots};
@@ -42,6 +42,9 @@ pub struct VersaSlotPolicy {
     active: Vec<AppId>,
     /// Reusable work-conserving candidate list.
     candidates: Vec<AppId>,
+    /// Reusable (priority, id) pairs so each priority is computed once per sort.
+    keyed: Vec<(f64, AppId)>,
+    meter: ScratchMeter,
 }
 
 impl VersaSlotPolicy {
@@ -67,22 +70,15 @@ impl VersaSlotPolicy {
         self.optimal_cache.insert(app, value);
         value
     }
-
-    /// Ageing priority of a waiting application (time waited relative to remaining
-    /// work).  VersaSlot inherits the runnable-queue ordering and preemption
-    /// mechanism of Nimblock for its candidate list, so the waiting list `C_wait`
-    /// is processed in this priority order.
-    fn priority(sim: &SharingSimulator, app: AppId) -> f64 {
-        let runtime = sim.app(app);
-        let waited = sim.now().saturating_since(runtime.arrival).as_millis_f64();
-        let remaining = runtime.remaining_work().as_millis_f64().max(1.0);
-        (waited + 1.0) / remaining
-    }
 }
 
 impl Policy for VersaSlotPolicy {
     fn name(&self) -> &'static str {
         "versaslot"
+    }
+
+    fn scratch_allocs(&self) -> u64 {
+        self.meter.allocs()
     }
 
     fn schedule(&mut self, sim: &mut SharingSimulator) {
@@ -108,27 +104,24 @@ impl Policy for VersaSlotPolicy {
         }
 
         // Process the waiting list in runnable-queue priority order (ageing).
-        self.state.waiting.sort_by(|a, b| {
-            Self::priority(sim, *b)
-                .partial_cmp(&Self::priority(sim, *a))
-                .expect("priorities are finite")
-                .then(a.cmp(b))
-        });
+        // VersaSlot inherits the runnable-queue ordering and preemption mechanism
+        // of Nimblock for its candidate list, so the waiting list `C_wait` is
+        // sorted by the shared ageing priority.
+        sort_by_priority(sim, &mut self.keyed, &mut self.state.waiting);
 
         // Build the Algorithm 1 inputs (reused table, no per-pass map).
         self.info.clear();
         for i in 0..self.active.len() {
             let app = self.active[i];
             let (optimal_big, optimal_little) = self.optimal(sim, app);
-            let runtime = sim.app(app);
             self.info.insert(
                 app,
                 AppAllocInfo {
                     can_bundle: sim.can_bundle(app),
-                    unfinished_tasks: runtime.unfinished_units(),
+                    unfinished_tasks: sim.unfinished_units(app),
                     optimal_little,
                     optimal_big,
-                    started: runtime.started,
+                    started: sim.app(app).started,
                 },
             );
         }
@@ -187,16 +180,11 @@ impl Policy for VersaSlotPolicy {
         self.candidates.clear();
         for i in 0..self.active.len() {
             let app = self.active[i];
-            if !self.state.is_bound_big(app) && sim.app(app).unplaced_units() > 0 {
+            if !self.state.is_bound_big(app) && sim.unplaced_units(app) > 0 {
                 self.candidates.push(app);
             }
         }
-        self.candidates.sort_by(|a, b| {
-            Self::priority(sim, *b)
-                .partial_cmp(&Self::priority(sim, *a))
-                .expect("priorities are finite")
-                .then(a.cmp(b))
-        });
+        sort_by_priority(sim, &mut self.keyed, &mut self.candidates);
         for i in 0..self.candidates.len() {
             let app = self.candidates[i];
             // Bundle-capable applications that are still waiting are left for the
@@ -205,7 +193,7 @@ impl Policy for VersaSlotPolicy {
             if still_waiting && sim.can_bundle(app) && sim.free_slot_count(SlotKind::Big) > 0 {
                 continue;
             }
-            let want = sim.app(app).unplaced_units();
+            let want = sim.unplaced_units(app);
             let granted = super::grant_little_slots(sim, app, want);
             if granted > 0 && still_waiting {
                 // The application is now executing in Little slots: record the
@@ -221,6 +209,16 @@ impl Policy for VersaSlotPolicy {
                 );
             }
         }
+
+        self.meter.observe(
+            self.active.capacity()
+                + self.candidates.capacity()
+                + self.keyed.capacity()
+                + self.info.capacity()
+                + self.state.waiting.capacity()
+                + self.state.bound_big.capacity()
+                + self.state.bound_little.capacity(),
+        );
     }
 }
 

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collection;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
@@ -22,7 +23,7 @@ pub mod prelude {
 
     /// Mirror of the `prop` module alias real proptest exposes in its prelude.
     pub mod prop {
-        pub use crate::{bool, collection};
+        pub use crate::{bool, collection, sample};
     }
 }
 

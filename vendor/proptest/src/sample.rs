@@ -1,0 +1,33 @@
+//! Strategies that pick from a fixed set of values, mirroring
+//! `proptest::sample`.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`select`]: draws one element of the backing vector
+/// uniformly at random.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+/// Picks uniformly from `choices`.
+///
+/// # Panics
+///
+/// Panics when `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select requires at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.choices.len());
+        self.choices[idx].clone()
+    }
+}
