@@ -1,7 +1,7 @@
 //! Hot-path benchmark: one stress-congestion sequence through the sharing
 //! simulator — once through the batched same-timestamp drain, once through the
-//! per-event control — plus the service-mode steady state, tracking simulated
-//! events per wall-clock second for all three.
+//! per-event control — plus the service-mode steady state and the sharded
+//! fleet engine, tracking simulated events per wall-clock second for all four.
 //!
 //! Besides printing Criterion-style samples, the bench writes
 //! `BENCH_hotpath.json` at the repository root so successive PRs can follow
@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use versaslot_bench::{
-    bench_baseline_path, hot_path_run, hot_path_workload, per_event_hot_path_run,
-    service_steady_state_throughput, write_bench_baseline, BenchBaseline,
+    bench_baseline_path, fleet_steady_state_throughput, hot_path_run, hot_path_workload,
+    per_event_hot_path_run, service_steady_state_throughput, write_bench_baseline, BenchBaseline,
 };
 
 fn bench_hot_path(c: &mut Criterion) {
@@ -36,7 +36,16 @@ fn bench_hot_path(c: &mut Criterion) {
         service.wall_seconds * 1e3,
         service.events_per_sec
     );
-    if let Err(err) = write_bench_baseline(&BenchBaseline::new(&stats, &per_event, &service)) {
+    let fleet = fleet_steady_state_throughput();
+    eprintln!(
+        "fleet steady state: {} simulated events in {:.1} ms — {:.0} events/s",
+        fleet.simulated_events,
+        fleet.wall_seconds * 1e3,
+        fleet.events_per_sec
+    );
+    if let Err(err) =
+        write_bench_baseline(&BenchBaseline::new(&stats, &per_event, &service, &fleet))
+    {
         eprintln!("could not write {}: {err}", bench_baseline_path());
     }
 
@@ -51,6 +60,9 @@ fn bench_hot_path(c: &mut Criterion) {
     });
     group.bench_function("service_steady_state", |b| {
         b.iter(|| service_steady_state_throughput().simulated_events);
+    });
+    group.bench_function("fleet_steady_state", |b| {
+        b.iter(|| fleet_steady_state_throughput().simulated_events);
     });
     group.finish();
 }

@@ -1,7 +1,8 @@
-//! CI gate for the scheduler hot path and the service steady state: rerun the
-//! throughput measurements and fail when `events_per_sec` (the batched drain),
-//! `per_event_events_per_sec` (the one-event-at-a-time control) or
-//! `service_events_per_sec` regresses more than 15% against the committed
+//! CI gate for the scheduler hot path, the service steady state and the
+//! sharded fleet engine: rerun the throughput measurements and fail when
+//! `events_per_sec` (the batched drain), `per_event_events_per_sec` (the
+//! one-event-at-a-time control), `service_events_per_sec` or
+//! `fleet_events_per_sec` regresses more than 15% against the committed
 //! `BENCH_hotpath.json`.
 //!
 //! ```text
@@ -17,8 +18,9 @@
 use std::process::ExitCode;
 
 use versaslot_bench::{
-    bench_baseline_path, hot_path_run, hot_path_workload, per_event_hot_path_run,
-    service_steady_state_throughput, write_bench_baseline, BenchBaseline, HotPathStats,
+    bench_baseline_path, fleet_steady_state_throughput, hot_path_run, hot_path_workload,
+    per_event_hot_path_run, service_steady_state_throughput, write_bench_baseline, BenchBaseline,
+    HotPathStats,
 };
 
 /// Relative regression that fails the gate (ROADMAP: "regressions on the
@@ -102,6 +104,7 @@ fn main() -> ExitCode {
     let hot_path = best_of("batch hot path", || hot_path_run(&workload));
     let per_event = best_of("per-event control", || per_event_hot_path_run(&workload));
     let service = best_of("service steady state", service_steady_state_throughput);
+    let fleet = best_of("fleet steady state", fleet_steady_state_throughput);
 
     let path = bench_baseline_path();
     let verdict = match std::fs::read_to_string(path) {
@@ -110,7 +113,8 @@ fn main() -> ExitCode {
             let per_event_ok =
                 gate_metric(&json, "per_event_events_per_sec", per_event.events_per_sec);
             let service_ok = gate_metric(&json, "service_events_per_sec", service.events_per_sec);
-            if hot_ok && per_event_ok && service_ok {
+            let fleet_ok = gate_metric(&json, "fleet_events_per_sec", fleet.events_per_sec);
+            if hot_ok && per_event_ok && service_ok && fleet_ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -123,7 +127,7 @@ fn main() -> ExitCode {
     };
 
     if update {
-        match write_bench_baseline(&BenchBaseline::new(&hot_path, &per_event, &service)) {
+        match write_bench_baseline(&BenchBaseline::new(&hot_path, &per_event, &service, &fleet)) {
             Ok(()) => println!("refreshed {path}"),
             Err(err) => {
                 eprintln!("ERROR: could not refresh {path}: {err}");

@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use versaslot_core::fleet::{run_fleet, FleetConfig};
 use versaslot_core::metrics::{
     pooled_mean_response_ms, pooled_percentile_ms, relative_reduction, relative_tail, RunReport,
 };
@@ -37,6 +38,7 @@ use versaslot_core::runner::{run_cluster_sequence, run_sequence, ClusterMode, Sc
 use versaslot_core::service::{run_service_cell, ServiceCell, ServiceConfig, StopCondition};
 use versaslot_core::SwitchingConfig;
 use versaslot_fpga::board::BoardSpec;
+use versaslot_sim::SimDuration;
 use versaslot_workload::benchmarks::BenchmarkApp;
 use versaslot_workload::{generate_workload, ArrivalProcess, Congestion, Workload, WorkloadConfig};
 
@@ -722,9 +724,46 @@ pub fn service_steady_state_throughput() -> HotPathStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet steady-state throughput
+// ---------------------------------------------------------------------------
+
+/// The fleet the scale-out numbers are measured on: four VersaSlot Big.Little
+/// shards fed by one shared Poisson stream at 2.4 apps/s fleet-wide — the same
+/// ~0.6 apps/s per shard as [`service_bench_cell`], so per-shard load matches
+/// the single-spine steady state and the aggregate events/s isolates the
+/// scale-out factor.  Hash placement, no spillover (the cheapest admission
+/// path), 500 s epochs over a fixed simulated horizon so `simulated_events` is
+/// identical across runs and only wall-clock varies.
+pub fn fleet_bench_config() -> FleetConfig {
+    FleetConfig::new(4, ArrivalProcess::Poisson { rate_per_sec: 2.4 })
+        .with_horizon(SimDuration::from_secs(10_000))
+        .with_epoch(SimDuration::from_secs(500))
+        .with_window(SimDuration::from_secs(1_000))
+}
+
+/// Runs the fleet steady state ([`fleet_bench_config`]) under
+/// [`Parallelism::Auto`] and reports **aggregate** simulated events per
+/// wall-clock second across all shards — the scale-out metric tracked in
+/// `BENCH_hotpath.json`.  On a multi-core host the shards run concurrently,
+/// so this exceeds [`service_steady_state_throughput`]'s single-spine rate;
+/// on one core it degrades to roughly the single-spine rate plus barrier
+/// overhead.
+pub fn fleet_steady_state_throughput() -> HotPathStats {
+    let config = fleet_bench_config();
+    let start = Instant::now();
+    let report = run_fleet(Parallelism::Auto, SchedulerKind::VersaSlotBigLittle, config);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
 /// The committed benchmark baseline: the batch hot path, its per-event
-/// control, and the service-mode steady state, tracked together in
-/// `BENCH_hotpath.json`.
+/// control, the service-mode steady state, and the sharded fleet steady
+/// state, tracked together in `BENCH_hotpath.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BenchBaseline {
     /// Simulated events of the batch hot-path run.
@@ -747,11 +786,22 @@ pub struct BenchBaseline {
     pub service_wall_seconds: f64,
     /// Service steady-state throughput (gated alongside `events_per_sec`).
     pub service_events_per_sec: f64,
+    /// Simulated events of the fleet steady-state run, summed over shards.
+    pub fleet_simulated_events: u64,
+    /// Wall-clock time of the fleet steady-state run, in seconds.
+    pub fleet_wall_seconds: f64,
+    /// Fleet aggregate throughput (gated alongside `events_per_sec`).
+    pub fleet_events_per_sec: f64,
 }
 
 impl BenchBaseline {
-    /// Combines the three throughput measurements into the committed format.
-    pub fn new(hot_path: &HotPathStats, per_event: &HotPathStats, service: &HotPathStats) -> Self {
+    /// Combines the four throughput measurements into the committed format.
+    pub fn new(
+        hot_path: &HotPathStats,
+        per_event: &HotPathStats,
+        service: &HotPathStats,
+        fleet: &HotPathStats,
+    ) -> Self {
         BenchBaseline {
             simulated_events: hot_path.simulated_events,
             wall_seconds: hot_path.wall_seconds,
@@ -762,6 +812,9 @@ impl BenchBaseline {
             service_simulated_events: service.simulated_events,
             service_wall_seconds: service.wall_seconds,
             service_events_per_sec: service.events_per_sec,
+            fleet_simulated_events: fleet.simulated_events,
+            fleet_wall_seconds: fleet.wall_seconds,
+            fleet_events_per_sec: fleet.events_per_sec,
         }
     }
 }
@@ -1003,5 +1056,24 @@ mod tests {
         let batched = hot_path_run(&workload);
         let per_event = per_event_hot_path_run(&workload);
         assert_eq!(batched.simulated_events, per_event.simulated_events);
+    }
+
+    /// The fleet bench configuration is valid and, because the run stops on a
+    /// fixed simulated horizon, its event count is byte-identical across runs
+    /// and parallelism modes — only wall-clock varies in the gated metric.
+    #[test]
+    fn fleet_bench_configuration_is_valid_and_deterministic() {
+        fleet_bench_config().validate();
+        // A shortened horizon keeps the debug-mode test quick.
+        let config = fleet_bench_config()
+            .with_horizon(SimDuration::from_secs(400))
+            .with_epoch(SimDuration::from_secs(100));
+        let run = |parallelism| {
+            let report = run_fleet(parallelism, SchedulerKind::VersaSlotBigLittle, config);
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let sequential = run(Parallelism::Sequential);
+        assert_eq!(sequential, run(Parallelism::Auto));
+        assert_eq!(sequential, run(Parallelism::Threads(2)));
     }
 }

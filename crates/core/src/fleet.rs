@@ -1,0 +1,825 @@
+//! Fleet mode: scale-out simulation of hundreds-to-thousands of boards as
+//! K independent shards.
+//!
+//! The single-spine service mode (PR 6/7) tops out at one simulator's event
+//! rate no matter how many cores the host has.  This module shards the fleet:
+//!
+//! * **One spine per shard.**  Each shard owns a full [`ServiceRunner`] — its
+//!   own pre-sized [`SharingSimulator`][crate::engine::SharingSimulator]
+//!   (`grow_events() == 0` holds per shard), its own SoA application table and
+//!   slot masks, and its own constant-memory streaming accumulators (Welford +
+//!   P² + [`TumblingWindow`][versaslot_sim::TumblingWindow] + the mergeable
+//!   [`LogHistogram`]).  Shards share **no mutable state**.
+//! * **Front-end admission.**  A [`ShardRouter`] assigns every generated
+//!   arrival to a shard with a seeded deterministic [`Placement`] policy
+//!   (hash or least-loaded-by-snapshot).  Spillover admission — the one
+//!   cross-shard effect at admission time — re-routes arrivals away from
+//!   backlogged shards as **explicit latency-bearing messages**: a forwarded
+//!   arrival reaches its new shard [`FleetConfig::forward_latency`] later.
+//! * **Epoch barriers.**  Time advances in epochs of [`FleetConfig::epoch`]
+//!   simulated seconds.  Between epochs the engine exchanges barrier
+//!   messages: per-shard completion counters flow back to the router (the
+//!   "least-loaded" snapshots) and routed/forwarded arrivals flow forward to
+//!   the shards that will admit them.  Within an epoch every shard runs
+//!   independently via [`parallel_map_owned`], so a K-shard fleet uses up to
+//!   K cores — and, because routing is a pure function of barrier snapshots
+//!   and execution order is restored by input index, the fleet output is
+//!   **byte-identical** across `Parallelism::{Sequential, Threads, Auto}`
+//!   and from run to run.
+//! * **Mergeable metrics.**  [`FleetEngine::report`] folds the per-shard
+//!   accumulators with [`Welford::merge`] (exact moments) and
+//!   [`LogHistogram::merge`] (tail quantiles) into one fleet-wide
+//!   [`Summary`] via [`merged_summary`], alongside the full per-shard
+//!   [`ServiceReport`]s and windowed timelines.
+//!
+//! Two workload modes ([`FleetWorkload`]): `SharedStream` models one global
+//! arrival stream split by the admission layer (the production shape), and
+//! `IndependentPerShard` gives every shard its own seeded stream — in that
+//! mode a K-shard fleet is provably equivalent to K standalone service runs,
+//! which the tests assert byte-for-byte.
+//!
+//! # Example
+//!
+//! ```
+//! use versaslot_core::fleet::{run_fleet, FleetConfig};
+//! use versaslot_core::par::Parallelism;
+//! use versaslot_core::runner::SchedulerKind;
+//! use versaslot_sim::SimDuration;
+//! use versaslot_workload::ArrivalProcess;
+//!
+//! let config = FleetConfig::new(4, ArrivalProcess::Poisson { rate_per_sec: 1.2 })
+//!     .with_horizon(SimDuration::from_secs(300))
+//!     .with_epoch(SimDuration::from_secs(60));
+//! let report = run_fleet(Parallelism::Auto, SchedulerKind::VersaSlotBigLittle, config);
+//! assert_eq!(report.shards.len(), 4);
+//! assert!(report.completions > 0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use versaslot_sim::{
+    merged_summary, LogHistogram, SimDuration, SimTime, Summary, Welford, WindowSummary,
+};
+use versaslot_workload::benchmarks::BenchmarkApp;
+use versaslot_workload::{AppArrival, ArrivalDriver, ArrivalProcess, Placement, ShardRouter};
+
+use crate::config::SystemConfig;
+use crate::par::{parallel_map_owned, Parallelism};
+use crate::policy::Policy;
+use crate::runner::SchedulerKind;
+use crate::service::{ServiceConfig, ServiceReport, ServiceRunner, StopCondition};
+
+/// How fleet arrivals are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FleetWorkload {
+    /// One fleet-wide arrival stream, split across shards by the admission
+    /// layer (hash / least-loaded placement, optional spillover).  The
+    /// production shape.
+    #[default]
+    SharedStream,
+    /// Every shard generates its own arrival stream from its own seed
+    /// ([`FleetConfig::shard_seed`]); the admission layer is bypassed.  A
+    /// K-shard fleet in this mode equals K standalone service runs — the
+    /// equivalence tests rely on it.
+    IndependentPerShard,
+}
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of shards (each is a full board + simulator spine).
+    pub shards: usize,
+    /// The arrival process.  `SharedStream`: the **fleet-wide** stream the
+    /// admission layer splits.  `IndependentPerShard`: the per-shard stream.
+    pub process: ArrivalProcess,
+    /// Load multiplier applied to the process rates.
+    pub load: f64,
+    /// Inclusive batch-size range of generated applications.
+    pub batch_range: (u32, u32),
+    /// Fleet seed: drives the shared arrival stream, the router hash and the
+    /// per-shard seeds.
+    pub seed: u64,
+    /// Per-shard warm-up cutoff (arrivals before it execute unmeasured).
+    pub warmup: SimDuration,
+    /// Simulated-time horizon at which the fleet run ends.
+    pub horizon: SimDuration,
+    /// Epoch barrier interval: router snapshots and cross-shard messages are
+    /// exchanged every `epoch` of simulated time.
+    pub epoch: SimDuration,
+    /// Width of the per-shard tumbling timeline windows.
+    pub window: SimDuration,
+    /// Primary placement policy of the admission layer.
+    pub placement: Placement,
+    /// Spill arrivals away from a primary shard whose backlog snapshot is at
+    /// or above this bound (`None` disables spillover).
+    pub spillover_threshold: Option<u64>,
+    /// Latency charged to every spilled-over arrival (the cross-shard
+    /// forwarding message takes this long to reach the new shard).
+    pub forward_latency: SimDuration,
+    /// How arrivals are generated (see [`FleetWorkload`]).
+    pub workload: FleetWorkload,
+}
+
+impl FleetConfig {
+    /// A fleet configuration with the evaluation defaults: unit load, the
+    /// paper's batch sizes, 30 s warm-up, a one-hour horizon with five-minute
+    /// epochs and timeline windows, hash placement, no spillover.
+    pub fn new(shards: usize, process: ArrivalProcess) -> Self {
+        FleetConfig {
+            shards,
+            process,
+            load: 1.0,
+            batch_range: (5, 30),
+            seed: 0x5EED_F1EE,
+            warmup: SimDuration::from_secs(30),
+            horizon: SimDuration::from_secs(3_600),
+            epoch: SimDuration::from_secs(300),
+            window: SimDuration::from_secs(300),
+            placement: Placement::Hash,
+            spillover_threshold: None,
+            forward_latency: SimDuration::from_millis(50),
+            workload: FleetWorkload::SharedStream,
+        }
+    }
+
+    /// Returns a copy with a different load multiplier.
+    pub fn with_load(mut self, load: f64) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Returns a copy with a different fleet seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different warm-up cutoff.
+    pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Returns a copy with a different horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Returns a copy with a different epoch barrier interval.
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Returns a copy with a different timeline window width.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Returns a copy with a different placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with spillover admission enabled: backlogs at or above
+    /// `threshold` redirect arrivals, each charged `forward_latency`.
+    pub fn with_spillover(mut self, threshold: u64, forward_latency: SimDuration) -> Self {
+        self.spillover_threshold = Some(threshold);
+        self.forward_latency = forward_latency;
+        self
+    }
+
+    /// Returns a copy with a different workload mode.
+    pub fn with_workload(mut self, workload: FleetWorkload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Panics if the configuration is degenerate.
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "a fleet needs at least one shard");
+        assert!(!self.horizon.is_zero(), "horizon must be positive");
+        assert!(!self.epoch.is_zero(), "epoch must be positive");
+        if let Some(threshold) = self.spillover_threshold {
+            assert!(threshold > 0, "spillover threshold must be positive");
+            assert!(
+                !self.forward_latency.is_zero(),
+                "spillover needs a positive forwarding latency"
+            );
+        }
+        // The per-shard service configuration re-validates process, load,
+        // batch range and window.
+        self.shard_service_config(0).validate();
+    }
+
+    /// The deterministic seed of shard `shard` (SplitMix64 mix of the fleet
+    /// seed and the shard index).  Drives the shard's timeline-reservoir
+    /// sampling and, under [`FleetWorkload::IndependentPerShard`], its whole
+    /// arrival stream.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_add((shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The [`ServiceConfig`] shard `shard` runs under: the fleet parameters
+    /// with the shard's own seed and a [`StopCondition::Horizon`] stop at the
+    /// fleet horizon.  Public so the standalone-equivalence tests can run the
+    /// exact same configuration outside the fleet.
+    pub fn shard_service_config(&self, shard: usize) -> ServiceConfig {
+        ServiceConfig {
+            process: self.process,
+            load: self.load,
+            batch_range: self.batch_range,
+            seed: self.shard_seed(shard),
+            warmup: self.warmup,
+            stop: StopCondition::Horizon(self.horizon),
+            window: self.window,
+        }
+    }
+}
+
+/// One shard: a full service spine plus its policy and epoch bookkeeping.
+struct ShardState {
+    index: usize,
+    runner: ServiceRunner,
+    policy: Box<dyn Policy + Send>,
+    windows: Vec<WindowSummary>,
+    /// Arrivals delivered to this shard by the admission layer.
+    routed: u64,
+    /// Of those, arrivals that reached it via spillover forwarding.
+    forwarded_in: u64,
+}
+
+/// Per-shard slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Arrivals the admission layer delivered to this shard
+    /// (always `0` under [`FleetWorkload::IndependentPerShard`]).
+    pub routed: u64,
+    /// Arrivals that reached this shard via spillover forwarding.
+    pub forwarded_in: u64,
+    /// The shard's windowed tail-latency timeline.
+    pub windows: Vec<WindowSummary>,
+    /// The shard's full service report.
+    pub service: ServiceReport,
+}
+
+/// The fold of a fleet run: fleet-wide totals, a merged tail summary, and the
+/// per-shard reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Admission placement policy.
+    pub placement: Placement,
+    /// Workload mode.
+    pub workload: FleetWorkload,
+    /// Number of shards.
+    pub shard_count: usize,
+    /// Epoch barriers crossed (including the final one).
+    pub epochs: u64,
+    /// Arrivals generated by the shared stream (`0` under
+    /// [`FleetWorkload::IndependentPerShard`], where shards self-generate).
+    pub arrivals_generated: u64,
+    /// Arrivals redirected by spillover forwarding.
+    pub forwarded: u64,
+    /// Arrivals still in flight as forwarding messages when the horizon hit
+    /// (routed, never delivered to a shard).
+    pub undelivered: u64,
+    /// Simulator events processed, summed over shards.
+    pub events_processed: u64,
+    /// Arrivals admitted into shard simulators, summed over shards.
+    pub arrivals_admitted: u64,
+    /// Applications completed (measured or not), summed over shards.
+    pub completions: u64,
+    /// Completions that counted toward the merged statistics.
+    pub measured_completions: u64,
+    /// Completions excluded by the warm-up cutoff, summed over shards.
+    pub warmup_completions: u64,
+    /// Latest shard simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Partial reconfigurations performed, summed over shards.
+    pub total_pr: u64,
+    /// Blocked events, summed over shards.
+    pub blocked_events: u64,
+    /// Fleet-wide response-time summary in milliseconds: exact moments from
+    /// the Welford merge, tail quantiles from the log-histogram merge.
+    pub overall: Option<Summary>,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+/// The sharded fleet engine: admission routing, epoch barriers, and parallel
+/// shard execution.  See the [module docs](self).
+pub struct FleetEngine {
+    config: FleetConfig,
+    scheduler: String,
+    shards: Vec<ShardState>,
+    router: ShardRouter,
+    /// The shared front-end arrival stream (`None` under
+    /// [`FleetWorkload::IndependentPerShard`]).
+    driver: Option<ArrivalDriver>,
+    /// First generated arrival at or past the last barrier, kept for the next
+    /// epoch (the driver cannot be peeked without consuming).
+    lookahead: Option<AppArrival>,
+    /// Routed arrivals whose (possibly forwarding-delayed) delivery time lies
+    /// beyond the epoch that routed them: in-flight cross-shard messages.
+    deferred: Vec<(usize, AppArrival)>,
+    arrivals_generated: u64,
+    epochs_run: u64,
+    finished: bool,
+}
+
+impl FleetEngine {
+    /// Creates a fleet of `config.shards` shards under `kind`'s policy and
+    /// board layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FleetConfig::validate`], or for
+    /// [`SchedulerKind::Baseline`] (no service-mode equivalent).
+    pub fn new(kind: SchedulerKind, config: FleetConfig) -> Self {
+        config.validate();
+        let suite = BenchmarkApp::suite();
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let policy = kind
+                .policy()
+                .expect("the Baseline comparator is not supported in fleet mode");
+            let system = SystemConfig::single_board(kind.board());
+            let service_config = config.shard_service_config(index);
+            let runner = match config.workload {
+                FleetWorkload::SharedStream => {
+                    ServiceRunner::new_routed(system, suite.clone(), service_config)
+                }
+                FleetWorkload::IndependentPerShard => {
+                    ServiceRunner::new(system, suite.clone(), service_config)
+                }
+            };
+            shards.push(ShardState {
+                index,
+                runner,
+                policy,
+                windows: Vec::new(),
+                routed: 0,
+                forwarded_in: 0,
+            });
+        }
+        let driver = matches!(config.workload, FleetWorkload::SharedStream).then(|| {
+            ArrivalDriver::new(
+                config.process.scaled(config.load),
+                suite.len(),
+                config.batch_range,
+                config.seed,
+            )
+        });
+        let router = ShardRouter::new(
+            config.placement,
+            config.shards,
+            config.seed,
+            config.spillover_threshold,
+        );
+        FleetEngine {
+            scheduler: kind.label().to_string(),
+            config,
+            shards,
+            router,
+            driver,
+            lookahead: None,
+            deferred: Vec::new(),
+            arrivals_generated: 0,
+            epochs_run: 0,
+            finished: false,
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Epoch barriers crossed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// `true` once the horizon epoch has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Per-shard event-queue growth counters — all must stay `0` for the
+    /// allocation-free invariant to extend across the fleet.
+    pub fn shard_grow_events(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.runner.simulator().event_queue_grow_events())
+            .collect()
+    }
+
+    /// Per-shard policy scratch high-water marks (see
+    /// [`Policy::scratch_allocs`]) — stable values across steady-state epochs
+    /// mean no policy allocates per pass on any shard.
+    pub fn shard_scratch_allocs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.policy.scratch_allocs())
+            .collect()
+    }
+
+    /// Runs one epoch: delivers due cross-shard messages and newly routed
+    /// arrivals, executes every shard up to the next barrier in parallel, then
+    /// exchanges barrier snapshots.  Returns `false` once the horizon has been
+    /// reached (further calls are no-ops).
+    pub fn advance_epoch(&mut self, parallelism: Parallelism) -> bool {
+        if self.finished {
+            return false;
+        }
+        let horizon_micros = self.config.horizon.as_micros();
+        let end_micros = (self.epochs_run + 1)
+            .saturating_mul(self.config.epoch.as_micros())
+            .min(horizon_micros);
+        let barrier = SimTime::from_micros(end_micros);
+        let is_final = end_micros >= horizon_micros;
+
+        if self.driver.is_some() {
+            self.deliver_arrivals(barrier);
+        }
+
+        // Fan the shards out: each epoch segment is run_to_barrier; the final
+        // epoch is a plain drive to the Horizon stop plus the window flush, so
+        // a shard's segmented run is byte-identical to an unsegmented one.
+        let shard_states = std::mem::take(&mut self.shards);
+        self.shards = parallel_map_owned(parallelism, shard_states, |mut shard| {
+            let ShardState {
+                runner,
+                policy,
+                windows,
+                ..
+            } = &mut shard;
+            if is_final {
+                runner.drive(policy.as_mut(), &mut |w| windows.push(*w));
+                runner.flush_windows(&mut |w| windows.push(*w));
+            } else {
+                runner.run_to_barrier(policy.as_mut(), barrier, &mut |w| windows.push(*w));
+            }
+            shard
+        });
+
+        // Barrier snapshot exchange: completion counters flow back to the
+        // router for the next epoch's least-loaded / spillover decisions.
+        for shard in &self.shards {
+            self.router
+                .record_completions(shard.index, shard.runner.completions());
+        }
+        self.epochs_run += 1;
+        self.finished = is_final;
+        !self.finished
+    }
+
+    /// Pulls the shared stream up to `barrier`, routes every arrival, applies
+    /// forwarding latency to spilled-over ones, and enqueues the per-shard
+    /// delivery batches in (time, id) order.  Deliveries whose time lands past
+    /// the barrier stay in flight (`deferred`) until their epoch comes.
+    fn deliver_arrivals(&mut self, barrier: SimTime) {
+        let Self {
+            config,
+            shards,
+            router,
+            driver,
+            lookahead,
+            deferred,
+            arrivals_generated,
+            ..
+        } = self;
+        let driver = driver.as_mut().expect("shared-stream mode");
+        let mut due: Vec<Vec<AppArrival>> = vec![Vec::new(); shards.len()];
+
+        // In-flight messages due this epoch.
+        deferred.retain(|(shard, arrival)| {
+            if arrival.arrival < barrier {
+                due[*shard].push(*arrival);
+                false
+            } else {
+                true
+            }
+        });
+
+        // New arrivals strictly before the barrier.
+        loop {
+            let arrival = match lookahead.take() {
+                Some(pending) => pending,
+                None => driver.next_arrival(),
+            };
+            if arrival.arrival >= barrier {
+                *lookahead = Some(arrival);
+                break;
+            }
+            *arrivals_generated += 1;
+            let decision = router.route(&arrival);
+            let delivered = if decision.forwarded {
+                shards[decision.shard].forwarded_in += 1;
+                AppArrival::new(
+                    arrival.id,
+                    arrival.app_index,
+                    arrival.batch_size,
+                    arrival.arrival + config.forward_latency,
+                )
+            } else {
+                arrival
+            };
+            if delivered.arrival < barrier {
+                due[decision.shard].push(delivered);
+            } else {
+                deferred.push((decision.shard, delivered));
+            }
+        }
+
+        for (shard, mut batch) in shards.iter_mut().zip(due) {
+            // Forwarded stragglers from earlier epochs interleave with fresh
+            // arrivals; ids are unique, so this order is a deterministic total
+            // order and matches the injection protocol's time-monotonicity.
+            batch.sort_by_key(|arrival| (arrival.arrival, arrival.id));
+            shard.routed += batch.len() as u64;
+            shard.runner.enqueue_arrivals(batch);
+        }
+    }
+
+    /// Folds the fleet into a [`FleetReport`]: sums the per-shard counters and
+    /// merges the per-shard accumulators (exact Welford moments + log-histogram
+    /// tails) into one fleet-wide summary.
+    pub fn report(&self) -> FleetReport {
+        let mut moments = Welford::new();
+        let mut tails = LogHistogram::new();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut events_processed = 0;
+        let mut arrivals_admitted = 0;
+        let mut completions = 0;
+        let mut warmup_completions = 0;
+        let mut total_pr = 0;
+        let mut blocked_events = 0;
+        let mut end_time = SimTime::ZERO;
+        let mut undelivered = self.deferred.len() as u64;
+        for shard in &self.shards {
+            let service = shard.runner.service_report(&self.scheduler);
+            moments.merge(shard.runner.overall_stream().welford());
+            tails.merge(shard.runner.tail_histogram());
+            events_processed += service.events_processed;
+            arrivals_admitted += service.arrivals_admitted;
+            completions += service.completions;
+            warmup_completions += service.warmup_completions;
+            total_pr += service.total_pr;
+            blocked_events += service.blocked_events;
+            end_time = end_time.max_of(service.end_time);
+            undelivered += shard.runner.pending_routed() as u64;
+            shards.push(ShardReport {
+                shard: shard.index,
+                routed: shard.routed,
+                forwarded_in: shard.forwarded_in,
+                windows: shard.windows.clone(),
+                service,
+            });
+        }
+        FleetReport {
+            scheduler: self.scheduler.clone(),
+            placement: self.config.placement,
+            workload: self.config.workload,
+            shard_count: self.shards.len(),
+            epochs: self.epochs_run,
+            arrivals_generated: self.arrivals_generated,
+            forwarded: self.router.forwarded(),
+            undelivered,
+            events_processed,
+            arrivals_admitted,
+            completions,
+            measured_completions: moments.count(),
+            warmup_completions,
+            end_time,
+            total_pr,
+            blocked_events,
+            overall: merged_summary(&moments, &tails),
+            shards,
+        }
+    }
+}
+
+/// Runs a whole fleet to its horizon and returns the report.  Convenience
+/// wrapper: create the engine, advance every epoch, fold the report.
+pub fn run_fleet(
+    parallelism: Parallelism,
+    kind: SchedulerKind,
+    config: FleetConfig,
+) -> FleetReport {
+    let mut engine = FleetEngine::new(kind, config);
+    while engine.advance_epoch(parallelism) {}
+    engine.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_config() -> FleetConfig {
+        FleetConfig::new(4, ArrivalProcess::Poisson { rate_per_sec: 1.2 })
+            .with_horizon(SimDuration::from_secs(400))
+            .with_epoch(SimDuration::from_secs(90)) // non-divisor: partial final epoch
+            .with_window(SimDuration::from_secs(120))
+    }
+
+    #[test]
+    fn fleet_run_is_consistent_and_allocation_free() {
+        let mut engine = FleetEngine::new(SchedulerKind::VersaSlotBigLittle, fleet_config());
+        while engine.advance_epoch(Parallelism::Sequential) {}
+        // 400 s of 90 s epochs: four full barriers plus the partial fifth.
+        assert_eq!(engine.epochs_run(), 5);
+        let report = engine.report();
+        assert_eq!(report.shard_count, 4);
+        assert_eq!(report.epochs, 5);
+        assert!(report.completions > 0, "no shard completed anything");
+        assert!(report.arrivals_generated > 0);
+
+        // Admission accounting: every generated arrival was either delivered
+        // to a shard or is still in flight.
+        let routed_sum: u64 = report.shards.iter().map(|s| s.routed).sum();
+        assert_eq!(report.arrivals_generated, routed_sum + report.undelivered);
+        // Hash placement spreads a few hundred arrivals over every shard.
+        for shard in &report.shards {
+            assert!(shard.routed > 0, "shard {} got nothing", shard.shard);
+            assert!(shard.service.arrivals_admitted <= shard.routed);
+        }
+
+        // Fleet totals are the shard sums.
+        let events_sum: u64 = report
+            .shards
+            .iter()
+            .map(|s| s.service.events_processed)
+            .sum();
+        assert_eq!(report.events_processed, events_sum);
+        let completions_sum: u64 = report.shards.iter().map(|s| s.service.completions).sum();
+        assert_eq!(report.completions, completions_sum);
+        let measured_sum: u64 = report
+            .shards
+            .iter()
+            .map(|s| s.service.measured_completions)
+            .sum();
+        assert_eq!(report.measured_completions, measured_sum);
+
+        // The merged summary is sane.
+        let overall = report.overall.expect("measured completions exist");
+        assert_eq!(overall.count as u64, report.measured_completions);
+        assert!(overall.p50 <= overall.p95 && overall.p95 <= overall.p99);
+        assert!(overall.min <= overall.p50 && overall.p99 <= overall.max);
+
+        // Zero-allocation invariant holds on every shard.
+        assert_eq!(engine.shard_grow_events(), vec![0; 4]);
+    }
+
+    #[test]
+    fn fleet_reports_are_byte_identical_across_parallelism_and_runs() {
+        let run = |parallelism| {
+            let report = run_fleet(
+                parallelism,
+                SchedulerKind::VersaSlotBigLittle,
+                fleet_config(),
+            );
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let sequential = run(Parallelism::Sequential);
+        assert_eq!(sequential, run(Parallelism::Threads(2)), "2 threads differ");
+        assert_eq!(sequential, run(Parallelism::Threads(4)), "4 threads differ");
+        assert_eq!(sequential, run(Parallelism::Auto), "auto differs");
+        assert_eq!(sequential, run(Parallelism::Sequential), "rerun differs");
+        // The fleet seed is not ignored.
+        let other = run_fleet(
+            Parallelism::Sequential,
+            SchedulerKind::VersaSlotBigLittle,
+            fleet_config().with_seed(99),
+        );
+        assert_ne!(sequential, serde_json::to_string(&other).unwrap());
+    }
+
+    #[test]
+    fn least_loaded_placement_balances_the_shards() {
+        let config = fleet_config().with_placement(Placement::LeastLoaded);
+        let report = run_fleet(
+            Parallelism::Sequential,
+            SchedulerKind::VersaSlotBigLittle,
+            config,
+        );
+        let routed: Vec<u64> = report.shards.iter().map(|s| s.routed).collect();
+        let min = *routed.iter().min().unwrap();
+        let max = *routed.iter().max().unwrap();
+        assert!(min > 0, "least-loaded starved a shard: {routed:?}");
+        // Least-loaded keeps the shard loads close: the spread stays well
+        // under the per-shard mean (hash placement is much noisier).
+        let mean = routed.iter().sum::<u64>() / routed.len() as u64;
+        assert!(
+            max - min <= mean.max(4),
+            "least-loaded spread too wide: {routed:?}"
+        );
+    }
+
+    #[test]
+    fn spillover_forwards_with_latency_and_accounts_for_messages() {
+        // A threshold of 1 forces heavy spillover on a hash-placed stream.
+        let config = fleet_config().with_spillover(1, SimDuration::from_secs(20));
+        let report = run_fleet(
+            Parallelism::Sequential,
+            SchedulerKind::VersaSlotBigLittle,
+            config,
+        );
+        assert!(report.forwarded > 0, "threshold 1 must forward something");
+        let forwarded_in: u64 = report.shards.iter().map(|s| s.forwarded_in).sum();
+        assert_eq!(report.forwarded, forwarded_in);
+        let routed_sum: u64 = report.shards.iter().map(|s| s.routed).sum();
+        assert_eq!(report.arrivals_generated, routed_sum + report.undelivered);
+        // Forwarding is deterministic too.
+        let again = run_fleet(
+            Parallelism::Threads(3),
+            SchedulerKind::VersaSlotBigLittle,
+            config,
+        );
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn independent_shards_match_standalone_service_runs() {
+        let config = FleetConfig::new(3, ArrivalProcess::Poisson { rate_per_sec: 0.5 })
+            .with_horizon(SimDuration::from_secs(400))
+            .with_epoch(SimDuration::from_secs(150)) // partial final epoch
+            .with_window(SimDuration::from_secs(120))
+            .with_workload(FleetWorkload::IndependentPerShard);
+        let kind = SchedulerKind::VersaSlotBigLittle;
+        let fleet = run_fleet(Parallelism::Sequential, kind, config);
+        assert_eq!(fleet.arrivals_generated, 0, "shards self-generate");
+        for (shard, shard_report) in fleet.shards.iter().enumerate() {
+            // The same configuration, run unsegmented by a standalone runner.
+            let mut policy = kind.policy().expect("non-baseline");
+            let mut runner = ServiceRunner::new(
+                SystemConfig::single_board(kind.board()),
+                BenchmarkApp::suite(),
+                config.shard_service_config(shard),
+            );
+            let mut windows = Vec::new();
+            let mut standalone = runner.run_with(policy.as_mut(), &mut |w| windows.push(*w));
+            standalone.scheduler = kind.label().to_string();
+            assert_eq!(
+                serde_json::to_string(&shard_report.service).unwrap(),
+                serde_json::to_string(&standalone).unwrap(),
+                "shard {shard} diverged from its standalone run"
+            );
+            assert_eq!(
+                shard_report.windows, windows,
+                "shard {shard} windows diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_epochs_keep_scratch_and_queues_stable() {
+        // Warm the fleet up for several epochs, snapshot the policy scratch
+        // high-water marks, then run more epochs: steady state must not grow
+        // any scratch buffer or event queue on any shard.
+        let config = FleetConfig::new(3, ArrivalProcess::Poisson { rate_per_sec: 0.9 })
+            .with_horizon(SimDuration::from_secs(900))
+            .with_epoch(SimDuration::from_secs(60));
+        let mut engine = FleetEngine::new(SchedulerKind::VersaSlotBigLittle, config);
+        for _ in 0..8 {
+            assert!(engine.advance_epoch(Parallelism::Sequential));
+        }
+        let warmed = engine.shard_scratch_allocs();
+        while engine.advance_epoch(Parallelism::Sequential) {}
+        assert_eq!(
+            engine.shard_scratch_allocs(),
+            warmed,
+            "a policy re-allocated scratch after warm-up"
+        );
+        assert_eq!(engine.shard_grow_events(), vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported in fleet mode")]
+    fn baseline_fleets_are_rejected() {
+        FleetEngine::new(SchedulerKind::Baseline, fleet_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_fleets_are_rejected() {
+        FleetEngine::new(
+            SchedulerKind::VersaSlotBigLittle,
+            FleetConfig::new(0, ArrivalProcess::Poisson { rate_per_sec: 1.0 }),
+        );
+    }
+}

@@ -48,6 +48,7 @@ pub mod bundling;
 pub mod config;
 pub mod dswitch;
 pub mod engine;
+pub mod fleet;
 pub mod ilp;
 pub mod metrics;
 pub mod migration;
@@ -58,8 +59,9 @@ pub mod service;
 
 pub use config::{SwitchingConfig, SystemConfig};
 pub use engine::SharingSimulator;
+pub use fleet::{run_fleet, FleetConfig, FleetEngine, FleetReport, FleetWorkload, ShardReport};
 pub use metrics::{AppRecord, RunReport};
-pub use par::{parallel_map, Parallelism};
+pub use par::{parallel_map, parallel_map_owned, Parallelism};
 pub use runner::{
     run_cluster_sequence, run_cluster_workload, run_sequence, run_workload, run_workload_with,
     ClusterMode, SchedulerKind,

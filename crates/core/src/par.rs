@@ -86,6 +86,65 @@ where
     results.into_iter().map(|(_, result)| result).collect()
 }
 
+/// [`parallel_map`] for **owned** items: consumes `items` and passes each by
+/// value, returning the results in input order.
+///
+/// The fleet engine needs this shape — each shard *is* the mutable state being
+/// worked on (a whole simulator spine), so the closure must own it for the
+/// duration of the epoch and hand it back inside the result.  The sequential
+/// path is a plain `into_iter().map()`; the parallel path parks each item in a
+/// one-shot `Mutex<Option<T>>` cell so worker threads can claim items by
+/// atomic cursor without unsafe code.  The same determinism contract as
+/// [`parallel_map`] applies: results are reordered by input index, so output
+/// is independent of scheduling.
+pub fn parallel_map_owned<T, R, F>(parallelism: Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = parallelism.workers(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let cells: Vec<Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(cells.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(idx) else {
+                        break;
+                    };
+                    let item = cell
+                        .lock()
+                        .expect("worker thread panicked while holding an item cell")
+                        .take()
+                        .expect("the atomic cursor claims each item exactly once");
+                    local.push((idx, f(item)));
+                }
+                collected
+                    .lock()
+                    .expect("worker thread panicked while holding the result lock")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut results = collected
+        .into_inner()
+        .expect("worker thread panicked while holding the result lock");
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, result)| result).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +184,31 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let none: Vec<u32> = Vec::new();
         assert!(parallel_map(Parallelism::Auto, &none, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn owned_map_matches_borrowed_map_across_modes() {
+        // Non-Clone, Send-only payload: exactly the fleet-shard shape.
+        struct Shard(u64);
+        let make = || (0..41).map(Shard).collect::<Vec<_>>();
+        let f = |shard: Shard| shard.0.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(11);
+        let sequential = parallel_map_owned(Parallelism::Sequential, make(), f);
+        for mode in [
+            Parallelism::Auto,
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+        ] {
+            assert_eq!(parallel_map_owned(mode, make(), f), sequential, "{mode:?}");
+        }
+        assert_eq!(
+            sequential,
+            make()
+                .iter()
+                .map(|s| s.0.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(11))
+                .collect::<Vec<_>>()
+        );
+        let none: Vec<Shard> = Vec::new();
+        assert!(parallel_map_owned(Parallelism::Auto, none, f).is_empty());
     }
 
     #[test]

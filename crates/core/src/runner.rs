@@ -88,7 +88,10 @@ impl SchedulerKind {
 
     /// A fresh policy instance for this scheduler, or `None` for the Baseline
     /// (exclusive temporal multiplexing bypasses the sharing engine).
-    pub fn policy(&self) -> Option<Box<dyn Policy>> {
+    ///
+    /// The box is `Send` so a policy can live inside fleet shard state that
+    /// migrates across the `parallel_map_owned` worker threads.
+    pub fn policy(&self) -> Option<Box<dyn Policy + Send>> {
         match self {
             SchedulerKind::Baseline => None,
             SchedulerKind::Fcfs => Some(Box::new(FcfsPolicy::new())),

@@ -51,12 +51,14 @@
 //! assert_eq!(runner.simulator().event_queue_grow_events(), 0);
 //! ```
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 use versaslot_sim::{
-    SimDuration, SimTime, StreamingSummary, Summary, TumblingWindow, WindowSummary,
+    LogHistogram, SimDuration, SimTime, StreamingSummary, Summary, TumblingWindow, WindowSummary,
 };
 use versaslot_workload::benchmarks::BenchmarkApp;
-use versaslot_workload::{ApplicationSpec, ArrivalDriver, ArrivalProcess};
+use versaslot_workload::{AppArrival, ApplicationSpec, ArrivalDriver, ArrivalProcess};
 
 use crate::config::SystemConfig;
 use crate::engine::SharingSimulator;
@@ -236,19 +238,46 @@ pub struct ServiceReport {
     pub per_app: Vec<AppServiceStats>,
 }
 
+/// Where a [`ServiceRunner`] gets its arrivals from.
+///
+/// The classic service mode owns an unbounded [`ArrivalDriver`]; a fleet shard
+/// instead receives arrivals routed to it by the admission layer
+/// ([`ServiceRunner::enqueue_arrivals`]) and holds them in a time-ordered
+/// queue until the one-at-a-time injection protocol drains them.
+#[derive(Debug)]
+enum ArrivalSource {
+    /// Self-generated arrivals from a seeded process.
+    Driver(ArrivalDriver),
+    /// Externally routed arrivals (fleet shard mode), front is next to inject.
+    Routed(VecDeque<AppArrival>),
+}
+
 /// Drives a [`SharingSimulator`] from an unbounded arrival process and folds
 /// completions into constant-memory streaming accumulators.
 ///
 /// See the [module docs](self) for the design; the short version: inject one
 /// arrival at a time, retire completions into [`StreamingSummary`] /
 /// [`TumblingWindow`] accumulators, stop on the configured condition.
+///
+/// Fleet shards reuse the same runner with two differences: arrivals come from
+/// [`ServiceRunner::enqueue_arrivals`] instead of an internal driver
+/// ([`ServiceRunner::new_routed`]), and execution is segmented into epochs by
+/// [`ServiceRunner::run_to_barrier`].  Segmenting is transparent: a run split
+/// at any sequence of barriers processes the byte-identical event sequence as
+/// an unsegmented [`ServiceRunner::run_with`] with a
+/// [`StopCondition::Horizon`] stop, because injection is a pure function of
+/// the simulator state and completions are folded after every step either way.
 #[derive(Debug)]
 pub struct ServiceRunner {
     sim: SharingSimulator,
-    driver: ArrivalDriver,
+    source: ArrivalSource,
     config: ServiceConfig,
     injected: u64,
     overall: StreamingSummary,
+    /// Mergeable tail histogram over the same measured completions as
+    /// `overall` — fleet reports fold shard tails through
+    /// [`LogHistogram::merge`], which the P² sketches cannot do.
+    tail: LogHistogram,
     per_app: Vec<StreamingSummary>,
     completions: u64,
     warmup_completions: u64,
@@ -272,16 +301,48 @@ impl ServiceRunner {
             config.batch_range,
             config.seed,
         );
+        Self::with_source(system, suite, config, ArrivalSource::Driver(driver))
+    }
+
+    /// Creates a runner whose arrivals are routed in from the outside (a fleet
+    /// shard): no internal driver, arrivals arrive via
+    /// [`ServiceRunner::enqueue_arrivals`].  The `config` process/load/seed
+    /// are recorded in the report but generate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ServiceConfig::validate`].
+    pub fn new_routed(
+        system: SystemConfig,
+        suite: Vec<ApplicationSpec>,
+        config: ServiceConfig,
+    ) -> Self {
+        config.validate();
+        Self::with_source(
+            system,
+            suite,
+            config,
+            ArrivalSource::Routed(VecDeque::new()),
+        )
+    }
+
+    fn with_source(
+        system: SystemConfig,
+        suite: Vec<ApplicationSpec>,
+        config: ServiceConfig,
+        source: ArrivalSource,
+    ) -> Self {
         let suite_names: Vec<String> = suite.iter().map(|spec| spec.name().to_string()).collect();
         let per_app = vec![StreamingSummary::new(); suite.len()];
         let window = TumblingWindow::new(config.window, config.seed);
         let sim = SharingSimulator::for_service(system, suite, ARRIVAL_LOOKAHEAD);
         ServiceRunner {
             sim,
-            driver,
+            source,
             config,
             injected: 0,
             overall: StreamingSummary::new(),
+            tail: LogHistogram::new(),
             per_app,
             completions: 0,
             warmup_completions: 0,
@@ -293,6 +354,59 @@ impl ServiceRunner {
     /// Read access to the underlying simulator (for invariant checks).
     pub fn simulator(&self) -> &SharingSimulator {
         &self.sim
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Applications completed so far (measured or not).
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// The pooled streaming accumulator (exact moments + P² quantiles) over
+    /// the measured completions so far.
+    pub fn overall_stream(&self) -> &StreamingSummary {
+        &self.overall
+    }
+
+    /// The mergeable tail histogram over the measured completions so far.
+    pub fn tail_histogram(&self) -> &LogHistogram {
+        &self.tail
+    }
+
+    /// Routed arrivals queued but not yet injected (always `0` for a
+    /// driver-backed runner).
+    pub fn pending_routed(&self) -> usize {
+        match &self.source {
+            ArrivalSource::Driver(_) => 0,
+            ArrivalSource::Routed(queue) => queue.len(),
+        }
+    }
+
+    /// Hands a batch of routed arrivals to a [`ServiceRunner::new_routed`]
+    /// runner.  Batches must be sorted by arrival time and must not predate
+    /// previously enqueued or already-processed arrivals — the fleet engine's
+    /// epoch barriers guarantee this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this runner owns an arrival driver.
+    pub fn enqueue_arrivals<I: IntoIterator<Item = AppArrival>>(&mut self, arrivals: I) {
+        let ArrivalSource::Routed(queue) = &mut self.source else {
+            panic!("enqueue_arrivals on a driver-backed service runner");
+        };
+        for arrival in arrivals {
+            debug_assert!(
+                queue
+                    .back()
+                    .is_none_or(|last| last.arrival <= arrival.arrival),
+                "routed arrivals must be enqueued in time order"
+            );
+            queue.push_back(arrival);
+        }
     }
 
     /// Runs until the stop condition holds and returns the report.
@@ -308,6 +422,68 @@ impl ServiceRunner {
         policy: &mut dyn Policy,
         on_window: &mut dyn FnMut(&WindowSummary),
     ) -> ServiceReport {
+        self.drive(policy, on_window);
+        self.flush_windows(on_window);
+        self.service_report(policy.name())
+    }
+
+    /// Keeps exactly one future arrival pending: injects the next one only
+    /// once the previous one has been admitted, so the queue never holds more
+    /// than [`ARRIVAL_LOOKAHEAD`] arrival events and (in driver mode) never
+    /// drains.  Routed mode injects nothing when its queue is empty.
+    fn inject_pending(&mut self) {
+        if self.injected != self.sim.arrivals_admitted() {
+            return;
+        }
+        match &mut self.source {
+            ArrivalSource::Driver(driver) => {
+                self.sim.inject_arrival(driver.next_arrival());
+                self.injected += 1;
+            }
+            ArrivalSource::Routed(queue) => {
+                if let Some(arrival) = queue.pop_front() {
+                    self.sim.inject_arrival(arrival);
+                    self.injected += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds finished applications into the streaming accumulators and drops
+    /// their records (disjoint field borrows around the closure).
+    fn fold_completions(&mut self, warmup_end: SimTime, on_window: &mut dyn FnMut(&WindowSummary)) {
+        let Self {
+            sim,
+            overall,
+            tail,
+            per_app,
+            completions,
+            warmup_completions,
+            window,
+            ..
+        } = self;
+        sim.retire_completed(|app| {
+            *completions += 1;
+            if app.arrival < warmup_end {
+                *warmup_completions += 1;
+                return;
+            }
+            let completion = app.completion.expect("retired application completed");
+            let response_ms = (completion - app.arrival).as_millis_f64();
+            overall.record(response_ms);
+            tail.record(response_ms);
+            per_app[app.app_index].record(response_ms);
+            if let Some(finished) = window.record(completion, response_ms) {
+                on_window(&finished);
+            }
+        });
+    }
+
+    /// The main loop: inject → step → fold, until the stop condition holds
+    /// (or, in routed mode, the event queue runs dry).  Does **not** flush the
+    /// final tumbling window or build a report — [`ServiceRunner::run_with`]
+    /// and the fleet engine's final epoch do that.
+    pub fn drive(&mut self, policy: &mut dyn Policy, on_window: &mut dyn FnMut(&WindowSummary)) {
         let warmup_end = SimTime::ZERO + self.config.warmup;
         let mut last_p99: Option<f64> = None;
         let mut next_check = match self.config.stop {
@@ -317,50 +493,58 @@ impl ServiceRunner {
             _ => 0,
         };
         loop {
-            // Keep exactly one future arrival pending: inject the next one only
-            // once the previous one has been admitted, so the queue never holds
-            // more than ARRIVAL_LOOKAHEAD arrival events and never drains.
-            if self.injected == self.sim.arrivals_admitted() {
-                self.sim.inject_arrival(self.driver.next_arrival());
-                self.injected += 1;
-            }
+            self.inject_pending();
             let stepped = self.sim.step(policy);
-            debug_assert!(stepped, "an arrival is always pending");
-
-            // Fold finished applications into the streaming accumulators and
-            // drop their records (disjoint field borrows around the closure).
-            let Self {
-                sim,
-                overall,
-                per_app,
-                completions,
-                warmup_completions,
-                window,
-                ..
-            } = self;
-            sim.retire_completed(|app| {
-                *completions += 1;
-                if app.arrival < warmup_end {
-                    *warmup_completions += 1;
-                    return;
-                }
-                let completion = app.completion.expect("retired application completed");
-                let response_ms = (completion - app.arrival).as_millis_f64();
-                overall.record(response_ms);
-                per_app[app.app_index].record(response_ms);
-                if let Some(finished) = window.record(completion, response_ms) {
-                    on_window(&finished);
-                }
-            });
-
+            if !stepped {
+                debug_assert!(
+                    matches!(self.source, ArrivalSource::Routed(_)),
+                    "an arrival is always pending in driver mode"
+                );
+                break;
+            }
+            self.fold_completions(warmup_end, on_window);
             if self.stop_reached(&mut last_p99, &mut next_check) {
                 break;
             }
         }
+    }
+
+    /// Runs the inject → step → fold loop for all events **strictly before**
+    /// `barrier`, ignoring the stop condition, and returns.  The fleet engine
+    /// calls this once per epoch; the final epoch uses [`ServiceRunner::drive`]
+    /// with a [`StopCondition::Horizon`] stop instead, so a segmented shard
+    /// processes the byte-identical event sequence as an unsegmented run (an
+    /// event at exactly the barrier belongs to the next epoch, and barriers
+    /// never split a same-instant event group because the whole group shares
+    /// one timestamp).
+    pub fn run_to_barrier(
+        &mut self,
+        policy: &mut dyn Policy,
+        barrier: SimTime,
+        on_window: &mut dyn FnMut(&WindowSummary),
+    ) {
+        let warmup_end = SimTime::ZERO + self.config.warmup;
+        loop {
+            self.inject_pending();
+            let Some(next) = self.sim.next_event_time() else {
+                break;
+            };
+            if next >= barrier {
+                break;
+            }
+            let stepped = self.sim.step(policy);
+            debug_assert!(stepped, "a pending event was peeked");
+            self.fold_completions(warmup_end, on_window);
+        }
+    }
+
+    /// Flushes the final (partial) tumbling window into `on_window`.  Call
+    /// once at the very end of a segmented run; [`ServiceRunner::run_with`]
+    /// does it automatically.
+    pub fn flush_windows(&mut self, on_window: &mut dyn FnMut(&WindowSummary)) {
         if let Some(finished) = self.window.flush() {
             on_window(&finished);
         }
-        self.build_report(policy.name())
     }
 
     fn stop_reached(&self, last_p99: &mut Option<f64>, next_check: &mut u64) -> bool {
@@ -396,7 +580,9 @@ impl ServiceRunner {
         }
     }
 
-    fn build_report(&self, scheduler: &str) -> ServiceReport {
+    /// Builds the report of the run so far under the given scheduler label.
+    /// Idempotent — the fleet engine calls it after its final epoch.
+    pub fn service_report(&self, scheduler: &str) -> ServiceReport {
         let per_app = self
             .per_app
             .iter()

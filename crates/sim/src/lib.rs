@@ -46,8 +46,9 @@ pub use event::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeWeightedSeries;
 pub use stats::{
-    percentile, sorted_percentile, P2Quantile, StreamingSummary, Summary, SummaryBuilder,
-    TumblingWindow, Welford, WindowSummary, WINDOW_RESERVOIR,
+    merged_summary, percentile, sorted_percentile, LogHistogram, P2Quantile, StreamingSummary,
+    Summary, SummaryBuilder, TumblingWindow, Welford, WindowSummary, LOG_HIST_BINS,
+    WINDOW_RESERVOIR,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind};

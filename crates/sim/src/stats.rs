@@ -770,6 +770,220 @@ impl TumblingWindow {
     }
 }
 
+/// Octaves (powers of two) covered by a [`LogHistogram`].
+const LOG_HIST_OCTAVES: usize = 32;
+
+/// Linear subdivisions per octave in a [`LogHistogram`].
+const LOG_HIST_SUBDIVISIONS: usize = 16;
+
+/// `log2(LOG_HIST_SUBDIVISIONS)` — mantissa bits used for the sub-bin.
+const LOG_HIST_SUB_BITS: u32 = 4;
+
+/// Exponent of the smallest tracked bin edge (`2^MIN_EXP`).
+const LOG_HIST_MIN_EXP: i32 = -4;
+
+/// Number of bins in a [`LogHistogram`].
+pub const LOG_HIST_BINS: usize = LOG_HIST_OCTAVES * LOG_HIST_SUBDIVISIONS;
+
+/// Exact power of two, built from IEEE-754 bits (no libm, bit-exact on every
+/// platform).
+fn pow2(exp: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&exp));
+    f64::from_bits(((1023 + exp) as u64) << 52)
+}
+
+/// A **mergeable** fixed-bin logarithmic histogram for tail quantiles.
+///
+/// The P² sketches in [`StreamingSummary`] are constant-memory but *not*
+/// mergeable: two P² marker sets cannot be combined into the sketch of the
+/// pooled stream.  Fleet-scale runs need per-shard tail state that folds into
+/// a fleet-wide summary, so this histogram trades a fixed 4 KiB of bins for an
+/// exact, associative [`LogHistogram::merge`] (bin-wise addition).
+///
+/// Values are binned by order of magnitude: [`LOG_HIST_OCTAVES`] octaves
+/// starting at `2^-4`, each split into [`LOG_HIST_SUBDIVISIONS`] linear
+/// sub-bins taken straight from the top mantissa bits of the `f64` — no
+/// `log()` calls, so binning is cheap and bit-exact across platforms.  Within
+/// the tracked range `[2^-4, 2^28)` a bin spans 1/16 of an octave, which
+/// bounds the relative quantile error by half a bin width: **≤ 3.2%**.
+/// Values below/above the range clamp into the first/last bin; the exact
+/// `min`/`max` are tracked separately and quantile estimates are clamped to
+/// `[min, max]`, so degenerate and out-of-range streams still report sane
+/// tails.
+///
+/// `Copy`, allocation-free, like every other streaming accumulator here.
+///
+/// # Example
+///
+/// ```
+/// use versaslot_sim::LogHistogram;
+///
+/// let mut left = LogHistogram::new();
+/// let mut right = LogHistogram::new();
+/// for i in 1..=500 {
+///     left.record(i as f64);
+///     right.record((500 + i) as f64);
+/// }
+/// left.merge(&right);
+/// let p99 = left.quantile(0.99).unwrap();
+/// assert!((p99 - 990.0).abs() / 990.0 < 0.04);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogHistogram {
+    count: u64,
+    min: f64,
+    max: f64,
+    bins: [u64; LOG_HIST_BINS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            bins: [0; LOG_HIST_BINS],
+        }
+    }
+
+    /// Bin index for `value`, clamped into `[0, LOG_HIST_BINS)`.
+    fn index_of(value: f64) -> usize {
+        if value <= 0.0 {
+            return 0;
+        }
+        let bits = value.to_bits();
+        // Unbiased binary exponent; subnormals (biased 0) land far below
+        // MIN_EXP and clamp to bin 0 like any other underflow.
+        let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+        let octave = exp - LOG_HIST_MIN_EXP;
+        if octave < 0 {
+            return 0;
+        }
+        let sub =
+            ((bits >> (52 - LOG_HIST_SUB_BITS)) & (LOG_HIST_SUBDIVISIONS as u64 - 1)) as usize;
+        (octave as usize * LOG_HIST_SUBDIVISIONS + sub).min(LOG_HIST_BINS - 1)
+    }
+
+    /// Midpoint of bin `idx` — the representative value quantiles report.
+    fn midpoint(idx: usize) -> f64 {
+        let octave = (idx / LOG_HIST_SUBDIVISIONS) as i32 + LOG_HIST_MIN_EXP;
+        let sub = (idx % LOG_HIST_SUBDIVISIONS) as f64;
+        let base = pow2(octave);
+        let width = base / LOG_HIST_SUBDIVISIONS as f64;
+        base + (sub + 0.5) * width
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.bins[Self::index_of(value)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Bin-wise addition — exact and associative: the merge of two histograms
+    /// is bit-identical to the histogram of the concatenated streams, in any
+    /// merge order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (bin, &add) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *bin += add;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation (exact), or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (exact), or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank `q`-quantile estimate, or `None` when empty.
+    ///
+    /// Walks the cumulative bin counts to the nearest-rank bin and reports its
+    /// midpoint, clamped to the exact `[min, max]` — within the tracked range
+    /// the relative error is at most half a bin width (≤ 3.2%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.bins.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(Self::midpoint(idx).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable (bins sum to count), but stay total.
+        Some(self.max)
+    }
+}
+
+/// Folds merged fleet-wide accumulators into one [`Summary`]: exact moments
+/// and extremes from the [`Welford`] merge, tail quantiles from the
+/// [`LogHistogram`] merge.  Returns `None` when the accumulators are empty.
+///
+/// Both accumulators must cover the same observations (debug-asserted via the
+/// counts).
+pub fn merged_summary(moments: &Welford, tails: &LogHistogram) -> Option<Summary> {
+    if moments.is_empty() || tails.is_empty() {
+        return None;
+    }
+    debug_assert_eq!(
+        moments.count(),
+        tails.count(),
+        "moments and tails must cover the same sample"
+    );
+    Some(Summary {
+        count: moments.count() as usize,
+        mean: moments.mean().expect("non-empty"),
+        min: moments.min().expect("non-empty"),
+        max: moments.max().expect("non-empty"),
+        p50: tails.quantile(0.50).expect("non-empty"),
+        p95: tails.quantile(0.95).expect("non-empty"),
+        p99: tails.quantile(0.99).expect("non-empty"),
+        std_dev: moments.std_dev().expect("non-empty"),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -989,6 +1203,104 @@ mod tests {
         assert_eq!(a[1].count, 250);
     }
 
+    #[test]
+    fn log_histogram_empty_and_single_value() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.quantile(0.99), None);
+        assert_eq!(hist.min(), None);
+        assert_eq!(hist.max(), None);
+
+        let mut hist = LogHistogram::new();
+        hist.record(42.0);
+        assert_eq!(hist.count(), 1);
+        // A single value: every quantile clamps onto it exactly.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hist.quantile(q), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_monotone_and_bounded() {
+        let mut hist = LogHistogram::new();
+        for i in 1..=10_000 {
+            hist.record(i as f64);
+        }
+        let p50 = hist.quantile(0.50).unwrap();
+        let p95 = hist.quantile(0.95).unwrap();
+        let p99 = hist.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= hist.max().unwrap());
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.04);
+        assert!((p95 - 9_500.0).abs() / 9_500.0 < 0.04);
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.04);
+    }
+
+    #[test]
+    fn log_histogram_clamps_out_of_range_values() {
+        let mut hist = LogHistogram::new();
+        hist.record(0.0); // below the first bin edge
+        hist.record(1e-300); // subnormal-adjacent underflow
+        hist.record(1e300); // far past the last bin
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.min(), Some(0.0));
+        assert_eq!(hist.max(), Some(1e300));
+        // Quantiles stay inside the exact observed range.
+        for q in [0.0, 0.5, 1.0] {
+            let v = hist.quantile(q).unwrap();
+            assert!((0.0..=1e300).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_bin_exact() {
+        let values: Vec<f64> = (0..500).map(|i| 1.0 + ((i * 37) % 997) as f64).collect();
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (left, right) = values.split_at(123);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        left.iter().for_each(|&v| a.record(v));
+        right.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        // Bin-wise addition: the merge is bit-identical to one stream.
+        assert_eq!(a, whole);
+        // Merging with an empty histogram is the identity in both directions.
+        let mut empty = LogHistogram::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        whole.merge(&LogHistogram::new());
+        assert_eq!(whole, empty);
+    }
+
+    #[test]
+    fn merged_summary_combines_moments_and_tails() {
+        let values: Vec<f64> = (1..=2_000).map(|i| i as f64).collect();
+        let mut moments = Welford::new();
+        let mut tails = LogHistogram::new();
+        for &v in &values {
+            moments.record(v);
+            tails.record(v);
+        }
+        let merged = merged_summary(&moments, &tails).unwrap();
+        let exact = Summary::of(&values).unwrap();
+        assert_eq!(merged.count, exact.count);
+        assert!((merged.mean - exact.mean).abs() < 1e-9);
+        assert_eq!(merged.min, exact.min);
+        assert_eq!(merged.max, exact.max);
+        assert!((merged.std_dev - exact.std_dev).abs() < 1e-6);
+        for (est, ex) in [
+            (merged.p50, exact.p50),
+            (merged.p95, exact.p95),
+            (merged.p99, exact.p99),
+        ] {
+            assert!((est - ex).abs() / ex < 0.04, "{est} vs {ex}");
+        }
+        assert!(merged_summary(&Welford::new(), &LogHistogram::new()).is_none());
+    }
+
     /// Deterministic sample from one of the three accuracy-test distributions.
     fn sample(distribution: usize, seed: u64, n: usize) -> Vec<f64> {
         let mut rng = SimRng::seed_from(seed ^ 0xACC0_01D5);
@@ -1063,6 +1375,46 @@ mod tests {
             let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
             prop_assert!(close(acc.mean().unwrap(), mean), "mean {} vs {}", acc.mean().unwrap(), mean);
             prop_assert!(close(acc.variance().unwrap(), variance), "variance {} vs {}", acc.variance().unwrap(), variance);
+        }
+
+        /// Sharded-merge accuracy bound: split a sample across four shards,
+        /// record each shard into its own LogHistogram + Welford, merge, and
+        /// pin the merged quantiles within the histogram's half-bin error
+        /// bound (≤ 3.2%, asserted at 5%) of the exact *pooled* nearest-rank
+        /// quantiles.  The moments must match the two-pass pooled values
+        /// almost exactly — the Welford merge is not an approximation.
+        #[test]
+        fn prop_log_histogram_merged_quantiles_track_pooled(
+            seed in 0u64..48,
+            distribution in 0usize..3,
+        ) {
+            const SHARDS: usize = 4;
+            let values = sample(distribution, seed, 40_000);
+            let mut moments = Welford::new();
+            let mut tails = LogHistogram::new();
+            for shard in 0..SHARDS {
+                let mut w = Welford::new();
+                let mut h = LogHistogram::new();
+                for v in values.iter().skip(shard).step_by(SHARDS) {
+                    w.record(*v);
+                    h.record(*v);
+                }
+                moments.merge(&w);
+                tails.merge(&h);
+            }
+            let merged = merged_summary(&moments, &tails).unwrap();
+            prop_assert_eq!(merged.count, values.len());
+            let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
+            prop_assert!((merged.mean - exact_mean).abs() <= 1e-9 * exact_mean.abs().max(1.0));
+            for (q, estimate) in [(0.50, merged.p50), (0.95, merged.p95), (0.99, merged.p99)] {
+                let exact = percentile(&values, q).unwrap();
+                let error = (estimate - exact).abs() / exact.abs().max(1e-12);
+                prop_assert!(
+                    error < 0.05,
+                    "distribution {} seed {}: q{} merged {} vs pooled exact {} ({:.3}% off)",
+                    distribution, seed, q, estimate, exact, error * 100.0
+                );
+            }
         }
 
         /// P² accuracy bound over uniform, exponential and bimodal inputs: the

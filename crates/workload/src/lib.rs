@@ -35,6 +35,7 @@ pub mod benchmarks;
 pub mod congestion;
 pub mod generator;
 pub mod partition;
+pub mod routing;
 pub mod task;
 
 pub use application::{AppArrival, AppId, ApplicationSpec, BundleSpec};
@@ -45,4 +46,5 @@ pub use generator::{
     generate_sequence, generate_workload, Workload, WorkloadConfig, WorkloadSequence,
 };
 pub use partition::{partition_application, PartitionError};
+pub use routing::{hash_shard, split_arrivals, Placement, RouteDecision, ShardRouter};
 pub use task::{TaskId, TaskSpec};
