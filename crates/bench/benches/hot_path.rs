@@ -9,8 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use versaslot_bench::{
-    bench_baseline_path, fleet_steady_state_throughput, hot_path_run, hot_path_workload,
-    per_event_hot_path_run, service_steady_state_throughput, write_bench_baseline, BenchBaseline,
+    bench_baseline_path, fault_noop_hot_path_run, fleet_steady_state_throughput, hot_path_run,
+    hot_path_workload, per_event_hot_path_run, service_steady_state_throughput,
+    write_bench_baseline, BenchBaseline,
 };
 
 fn bench_hot_path(c: &mut Criterion) {
@@ -43,9 +44,20 @@ fn bench_hot_path(c: &mut Criterion) {
         fleet.wall_seconds * 1e3,
         fleet.events_per_sec
     );
-    if let Err(err) =
-        write_bench_baseline(&BenchBaseline::new(&stats, &per_event, &service, &fleet))
-    {
+    let fault_noop = fault_noop_hot_path_run(&workload);
+    eprintln!(
+        "empty-fault-schedule control: {} simulated events in {:.1} ms — {:.0} events/s",
+        fault_noop.simulated_events,
+        fault_noop.wall_seconds * 1e3,
+        fault_noop.events_per_sec
+    );
+    if let Err(err) = write_bench_baseline(&BenchBaseline::new(
+        &stats,
+        &per_event,
+        &service,
+        &fleet,
+        &fault_noop,
+    )) {
         eprintln!("could not write {}: {err}", bench_baseline_path());
     }
 
@@ -63,6 +75,9 @@ fn bench_hot_path(c: &mut Criterion) {
     });
     group.bench_function("fleet_steady_state", |b| {
         b.iter(|| fleet_steady_state_throughput().simulated_events);
+    });
+    group.bench_function("fault_noop_control", |b| {
+        b.iter(|| fault_noop_hot_path_run(&workload).simulated_events);
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! `events_per_sec` (the batched drain), `per_event_events_per_sec` (the
 //! one-event-at-a-time control), `service_events_per_sec` or
 //! `fleet_events_per_sec` regresses more than 15% against the committed
-//! `BENCH_hotpath.json`.
+//! `BENCH_hotpath.json`.  Additionally gates `fault_overhead_pct`: an empty
+//! fault schedule must not cost the batched hot path more than 5% events/s.
 //!
 //! ```text
 //! cargo run -p versaslot-bench --release --bin bench_compare           # gate
@@ -18,9 +19,9 @@
 use std::process::ExitCode;
 
 use versaslot_bench::{
-    bench_baseline_path, fleet_steady_state_throughput, hot_path_run, hot_path_workload,
-    per_event_hot_path_run, service_steady_state_throughput, write_bench_baseline, BenchBaseline,
-    HotPathStats,
+    bench_baseline_path, fault_noop_hot_path_run, fleet_steady_state_throughput, hot_path_run,
+    hot_path_workload, per_event_hot_path_run, service_steady_state_throughput,
+    write_bench_baseline, BenchBaseline, HotPathStats,
 };
 
 /// Relative regression that fails the gate (ROADMAP: "regressions on the
@@ -30,6 +31,12 @@ const TOLERANCE: f64 = 0.15;
 
 /// Measurement runs per metric; the best (highest events/sec) one is compared.
 const RUNS: usize = 5;
+
+/// Largest tolerated throughput cost of an **empty** fault schedule relative
+/// to the plain batched hot path, in percent.  The fault plane's dormant
+/// bookkeeping (generation tags, acceptance checks, the hashed PR outcome
+/// draw) must stay effectively free.
+const FAULT_OVERHEAD_PCT: f64 = 5.0;
 
 /// Extracts `"<key>": <number>` from the committed baseline.  The file is
 /// written by this workspace (see the `hot_path` bench and `--update`), so a
@@ -105,6 +112,29 @@ fn main() -> ExitCode {
     let per_event = best_of("per-event control", || per_event_hot_path_run(&workload));
     let service = best_of("service steady state", service_steady_state_throughput);
     let fleet = best_of("fleet steady state", fleet_steady_state_throughput);
+    let fault_noop = best_of("empty-fault-schedule control", || {
+        fault_noop_hot_path_run(&workload)
+    });
+
+    // The fault plane with an empty schedule must cost (almost) nothing.
+    // Both sides are best-of-N from the same process, so the ratio is a
+    // hardware-independent measure of the dormant bookkeeping.
+    let fault_overhead_pct = (1.0 - fault_noop.events_per_sec / hot_path.events_per_sec) * 100.0;
+    println!(
+        "fault_overhead_pct: {fault_overhead_pct:+.2}% \
+         (empty schedule {:.0} events/s vs plain {:.0} events/s)",
+        fault_noop.events_per_sec, hot_path.events_per_sec
+    );
+    let fault_overhead_ok = if fault_overhead_pct > FAULT_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: the dormant fault plane costs {fault_overhead_pct:.2}% events/s \
+             (allowed: {FAULT_OVERHEAD_PCT:.0}%)"
+        );
+        false
+    } else {
+        println!("OK: dormant fault plane within the {FAULT_OVERHEAD_PCT:.0}% overhead gate");
+        true
+    };
 
     let path = bench_baseline_path();
     let verdict = match std::fs::read_to_string(path) {
@@ -114,7 +144,18 @@ fn main() -> ExitCode {
                 gate_metric(&json, "per_event_events_per_sec", per_event.events_per_sec);
             let service_ok = gate_metric(&json, "service_events_per_sec", service.events_per_sec);
             let fleet_ok = gate_metric(&json, "fleet_events_per_sec", fleet.events_per_sec);
-            if hot_ok && per_event_ok && service_ok && fleet_ok {
+            let fault_noop_ok = gate_metric(
+                &json,
+                "fault_noop_events_per_sec",
+                fault_noop.events_per_sec,
+            );
+            if hot_ok
+                && per_event_ok
+                && service_ok
+                && fleet_ok
+                && fault_noop_ok
+                && fault_overhead_ok
+            {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -122,12 +163,22 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("WARN: could not read {path} ({err}); skipping the gate");
-            ExitCode::SUCCESS
+            if fault_overhead_ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
     };
 
     if update {
-        match write_bench_baseline(&BenchBaseline::new(&hot_path, &per_event, &service, &fleet)) {
+        match write_bench_baseline(&BenchBaseline::new(
+            &hot_path,
+            &per_event,
+            &service,
+            &fleet,
+            &fault_noop,
+        )) {
             Ok(()) => println!("refreshed {path}"),
             Err(err) => {
                 eprintln!("ERROR: could not refresh {path}: {err}");

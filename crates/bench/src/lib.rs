@@ -38,6 +38,7 @@ use versaslot_core::runner::{run_cluster_sequence, run_sequence, ClusterMode, Sc
 use versaslot_core::service::{run_service_cell, ServiceCell, ServiceConfig, StopCondition};
 use versaslot_core::SwitchingConfig;
 use versaslot_fpga::board::BoardSpec;
+use versaslot_sim::fault::FaultProfile;
 use versaslot_sim::SimDuration;
 use versaslot_workload::benchmarks::BenchmarkApp;
 use versaslot_workload::{generate_workload, ArrivalProcess, Congestion, Workload, WorkloadConfig};
@@ -680,6 +681,38 @@ pub fn per_event_hot_path_run(workload: &Workload) -> HotPathStats {
     }
 }
 
+/// The fault-plane overhead control: the same stress sequence as
+/// [`hot_path_run`], batched drain, but with an **empty** fault schedule
+/// attached (a default [`FaultProfile`] injects nothing).
+///
+/// With the schedule empty the engine takes the fault branches — generation
+/// tags on completion events, the per-slot acceptance check, the hashed PR
+/// outcome draw — without ever injecting a fault, so the gap between this and
+/// [`hot_path_run`] is the pure bookkeeping cost of the fault plane.
+/// `bench_compare` gates that gap (`fault_overhead_pct`) at 5%.
+pub fn fault_noop_hot_path_run(workload: &Workload) -> HotPathStats {
+    use versaslot_core::config::SystemConfig;
+    use versaslot_core::engine::SharingSimulator;
+
+    let kind = SchedulerKind::VersaSlotBigLittle;
+    let mut policy = kind.policy().expect("versaslot is not the baseline");
+    let config = SystemConfig::single_board(kind.board()).with_faults(FaultProfile::new(0));
+    let mut sim = SharingSimulator::new(
+        config,
+        workload.suite.clone(),
+        &workload.sequences[0].arrivals,
+    );
+    let start = Instant::now();
+    let report = sim.run(policy.as_mut());
+    let wall_seconds = start.elapsed().as_secs_f64();
+    debug_assert!(sim.fault_stats().is_zero(), "no-op profile injected faults");
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Service steady-state throughput
 // ---------------------------------------------------------------------------
@@ -792,15 +825,24 @@ pub struct BenchBaseline {
     pub fleet_wall_seconds: f64,
     /// Fleet aggregate throughput (gated alongside `events_per_sec`).
     pub fleet_events_per_sec: f64,
+    /// Simulated events of the empty-fault-schedule control run (identical to
+    /// `simulated_events` by the strict-no-op contract).
+    pub fault_noop_simulated_events: u64,
+    /// Wall-clock time of the empty-fault-schedule control run, in seconds.
+    pub fault_noop_wall_seconds: f64,
+    /// Empty-fault-schedule throughput; `bench_compare` gates its gap to
+    /// `events_per_sec` (`fault_overhead_pct`) at 5%.
+    pub fault_noop_events_per_sec: f64,
 }
 
 impl BenchBaseline {
-    /// Combines the four throughput measurements into the committed format.
+    /// Combines the five throughput measurements into the committed format.
     pub fn new(
         hot_path: &HotPathStats,
         per_event: &HotPathStats,
         service: &HotPathStats,
         fleet: &HotPathStats,
+        fault_noop: &HotPathStats,
     ) -> Self {
         BenchBaseline {
             simulated_events: hot_path.simulated_events,
@@ -815,6 +857,9 @@ impl BenchBaseline {
             fleet_simulated_events: fleet.simulated_events,
             fleet_wall_seconds: fleet.wall_seconds,
             fleet_events_per_sec: fleet.events_per_sec,
+            fault_noop_simulated_events: fault_noop.simulated_events,
+            fault_noop_wall_seconds: fault_noop.wall_seconds,
+            fault_noop_events_per_sec: fault_noop.events_per_sec,
         }
     }
 }

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use versaslot_fpga::board::BoardSpec;
+use versaslot_sim::fault::FaultProfile;
 use versaslot_sim::SimDuration;
 
 use crate::dswitch::SwitchThresholds;
@@ -50,6 +51,9 @@ pub struct SystemConfig {
     pub switching: Option<SwitchingConfig>,
     /// Record a full event trace (slower; used by tests and debugging).
     pub record_trace: bool,
+    /// Deterministic fault injection; `None` disables the fault plane
+    /// entirely (the default for every existing run mode).
+    pub faults: Option<FaultProfile>,
 }
 
 impl SystemConfig {
@@ -61,6 +65,7 @@ impl SystemConfig {
             blocked_threshold: SimDuration::from_micros(500),
             switching: None,
             record_trace: false,
+            faults: None,
         }
     }
 
@@ -85,6 +90,14 @@ impl SystemConfig {
     /// Returns a copy with custom switching parameters.
     pub fn with_switching(mut self, switching: SwitchingConfig) -> Self {
         self.switching = Some(switching);
+        self
+    }
+
+    /// Returns a copy with a fault profile attached.  The profile is
+    /// validated when the simulator is constructed; board MTTF/MTTR faults
+    /// are mutually exclusive with the switching controller.
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

@@ -100,6 +100,7 @@ use versaslot_fpga::board::BoardId;
 use versaslot_fpga::cpu::{CoreAssignment, CpuCore};
 use versaslot_fpga::pcap::SerialServer;
 use versaslot_fpga::slot::{LayoutKind, SlotKind};
+use versaslot_sim::fault::{FaultSchedule, FaultStats};
 use versaslot_sim::{
     EventQueue, SimDuration, SimTime, TimeWeightedSeries, Trace, TraceDetail, TraceKind,
 };
@@ -130,9 +131,54 @@ pub const MAX_SLOTS: usize = 4096;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(AppId),
-    PrComplete { slot: usize },
-    ItemComplete { slot: usize },
-    SwitchComplete { board: usize },
+    /// `gen` is the slot's eviction generation at push time: a fault eviction
+    /// bumps the slot's counter, turning any in-flight completion for the old
+    /// occupant into a no-op.  Always `0` when the fault plane is off.
+    PrComplete {
+        slot: usize,
+        gen: u32,
+    },
+    ItemComplete {
+        slot: usize,
+        gen: u32,
+    },
+    SwitchComplete {
+        board: usize,
+    },
+    /// Fault plane: the board fails (occupants evicted, slots offline).
+    BoardDown {
+        board: usize,
+    },
+    /// Fault plane: the board finished repair (slots back online).
+    BoardUp {
+        board: usize,
+    },
+}
+
+/// Runtime state of the fault plane; present only when
+/// [`SystemConfig::faults`] is set, so the fault-free hot path pays one
+/// `Option` check per event at most.
+#[derive(Debug)]
+struct FaultState {
+    schedule: FaultSchedule,
+    stats: FaultStats,
+    /// Per-slot eviction generation (see [`Event::PrComplete`]).
+    slot_gen: Vec<u32>,
+    /// Failed attempts of the in-flight reconfiguration per slot.
+    pr_attempts: Vec<u32>,
+    /// Boards currently failed.
+    board_down: Vec<bool>,
+    /// Whether the board accepted grants when it failed (restored on repair).
+    board_was_enabled: Vec<bool>,
+    /// Boards with a pending `BoardDown`/`BoardUp` timer in the queue (at most
+    /// one per board, which is what the queue capacity reserves).
+    board_timer_armed: Vec<bool>,
+    /// Slots evicted by a board failure whose in-flight completion event is
+    /// still in the queue.  The occupant is detached immediately, but the slot
+    /// itself is only returned to the free pool when that stale event drains —
+    /// this keeps the queue at one pending event per slot, which is what the
+    /// pre-sized arena reserves.
+    slot_quarantined: Vec<bool>,
 }
 
 /// The scheduler and PR-server cores of one board.
@@ -212,6 +258,9 @@ pub struct SharingSimulator {
     dswitch_trace: Vec<DswitchSample>,
     migrations: Vec<MigrationRecord>,
 
+    /// Fault-injection state; `None` disables the fault plane entirely.
+    fault: Option<Box<FaultState>>,
+
     /// Reusable buffer for the batched event drain (no steady-state allocation).
     batch_scratch: Vec<Event>,
     /// Applications whose units progressed since the last scheduling pass —
@@ -284,10 +333,27 @@ impl SharingSimulator {
         let pr_paths = vec![SerialServer::new(); config.boards.len()];
         let slot_cols = SlotColumns::from_slots(&slots);
 
-        let mut events = EventQueue::with_capacity(Self::event_queue_capacity(
+        let fault = config.faults.map(|profile| {
+            assert!(
+                profile.board_mttf.is_none() || config.switching.is_none(),
+                "board failure injection and cross-board switching are mutually exclusive"
+            );
+            Box::new(FaultState {
+                schedule: FaultSchedule::new(profile, config.boards.len()),
+                stats: FaultStats::default(),
+                slot_gen: vec![0; total_slots],
+                pr_attempts: vec![0; total_slots],
+                board_down: vec![false; config.boards.len()],
+                board_was_enabled: vec![false; config.boards.len()],
+                board_timer_armed: vec![false; config.boards.len()],
+                slot_quarantined: vec![false; total_slots],
+            })
+        });
+
+        let mut events = EventQueue::with_capacity(Self::queue_capacity_for(
+            &config,
             arrivals.len(),
             slots.len(),
-            config.boards.len(),
         ));
         let mut pending_arrivals = BTreeMap::new();
         for arrival in arrivals {
@@ -337,6 +403,7 @@ impl SharingSimulator {
             switch_loop,
             dswitch_trace: Vec::new(),
             migrations: Vec::new(),
+            fault,
             batch_scratch: Vec::new(),
             touched_scratch: Vec::new(),
         }
@@ -357,10 +424,10 @@ impl SharingSimulator {
         arrival_lookahead: usize,
     ) -> Self {
         let mut sim = Self::new(config, suite, &[]);
-        sim.events = EventQueue::with_capacity(Self::event_queue_capacity(
+        sim.events = EventQueue::with_capacity(Self::queue_capacity_for(
+            &sim.config,
             arrival_lookahead,
             sim.slots.len(),
-            sim.config.boards.len(),
         ));
         sim
     }
@@ -534,6 +601,9 @@ impl SharingSimulator {
             .started
             .then_some(runtime.home_board)
             .flatten()
+            // The home-board drain exception must not resurrect grants on a
+            // board the fault plane has taken down.
+            .filter(|&home| !self.board_fault_down(home))
             .map(|home| &self.index.board[home]);
         MaskQuery::grantable(
             &self.index.free,
@@ -639,6 +709,32 @@ impl SharingSimulator {
     /// the hardware (slots), not by the backlog of work.
     pub fn event_queue_capacity(num_arrivals: usize, num_slots: usize, num_boards: usize) -> usize {
         num_arrivals + num_slots + num_boards
+    }
+
+    /// Queue capacity for a concrete configuration: the public bound above,
+    /// plus one slot per board when the fault plane is on (each board has at
+    /// most one pending `BoardDown` *or* `BoardUp` timer — never both).
+    fn queue_capacity_for(config: &SystemConfig, num_arrivals: usize, num_slots: usize) -> usize {
+        let boards = config.boards.len();
+        let fault_events = if config.faults.is_some() { boards } else { 0 };
+        Self::event_queue_capacity(num_arrivals, num_slots, boards) + fault_events
+    }
+
+    /// Counters of the fault plane; all-zero when no fault profile is
+    /// attached (kept out of [`RunReport`] so fault-free reports are
+    /// byte-identical to builds without the fault plane).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Whether `board` is currently failed by the fault plane.
+    fn board_fault_down(&self, board: usize) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.board_down[board])
+    }
+
+    /// The eviction generation completion events for `slot_idx` must carry.
+    fn slot_event_gen(&self, slot_idx: usize) -> u32 {
+        self.fault.as_ref().map_or(0, |f| f.slot_gen[slot_idx])
     }
 
     /// Number of event-queue operations that had to grow a backing store.
@@ -801,6 +897,9 @@ impl SharingSimulator {
         if !slot_free {
             return false;
         }
+        if self.board_fault_down(slot_board) {
+            return false;
+        }
 
         let target_mode = match slot_kind {
             SlotKind::Big => ExecMode::Big,
@@ -914,8 +1013,17 @@ impl SharingSimulator {
         };
         self.index_slot_granted(slot_idx, app_id, slot_kind);
         self.total_pr += 1;
-        self.events
-            .push(finish, Event::PrComplete { slot: slot_idx });
+        let gen = self.slot_event_gen(slot_idx);
+        if let Some(fault) = self.fault.as_mut() {
+            fault.pr_attempts[slot_idx] = 0;
+        }
+        self.events.push(
+            finish,
+            Event::PrComplete {
+                slot: slot_idx,
+                gen,
+            },
+        );
         self.trace.log(
             now,
             TraceKind::PrRequested,
@@ -1112,10 +1220,22 @@ impl SharingSimulator {
                 self.handle_arrival(id);
                 None
             }
-            Event::PrComplete { slot } => Some(self.handle_pr_complete(slot)),
-            Event::ItemComplete { slot } => Some(self.handle_item_complete(slot)),
+            Event::PrComplete { slot, gen } => self
+                .accept_completion(slot, gen)
+                .then(|| self.handle_pr_complete(slot)),
+            Event::ItemComplete { slot, gen } => self
+                .accept_completion(slot, gen)
+                .then(|| self.handle_item_complete(slot)),
             Event::SwitchComplete { board } => {
                 self.handle_switch_complete(board);
+                None
+            }
+            Event::BoardDown { board } => {
+                self.handle_board_down(board);
+                None
+            }
+            Event::BoardUp { board } => {
+                self.handle_board_up(board);
                 None
             }
         };
@@ -1198,6 +1318,50 @@ impl SharingSimulator {
         self.index_app_arrived(id);
         self.arrivals_admitted += 1;
         self.candidate_queue_updated();
+        self.arm_board_timers();
+    }
+
+    /// Whether a completion event for `slot` is still current.  A fault
+    /// eviction bumps the slot's generation, so a completion pushed for the
+    /// evicted occupant is dropped here (counted, never a panic) instead of
+    /// hitting the state-machine asserts below.
+    fn accept_completion(&mut self, slot: usize, gen: u32) -> bool {
+        let stale = self
+            .fault
+            .as_ref()
+            .is_some_and(|fault| fault.slot_gen[slot] != gen);
+        if stale {
+            self.release_quarantined(slot);
+        }
+        !stale
+    }
+
+    /// Consumes the stale completion of a slot evicted by a board failure and
+    /// returns the slot to the free pool.  The release is deferred to this
+    /// point (rather than eviction time) so each slot keeps at most one event
+    /// in flight — the bound the pre-sized arena reserves.
+    fn release_quarantined(&mut self, slot_idx: usize) {
+        {
+            let fault = self
+                .fault
+                .as_mut()
+                .expect("stale completion without fault state");
+            fault.stats.cancelled_events += 1;
+            debug_assert!(
+                fault.slot_quarantined[slot_idx],
+                "stale completion on a slot that was never quarantined"
+            );
+            fault.slot_quarantined[slot_idx] = false;
+        }
+        let app_id = match self.slots[slot_idx].state {
+            SlotState::Reconfiguring { app, .. } => app,
+            SlotState::Loaded { app, .. } => app,
+            SlotState::Free => unreachable!("quarantined slots stay occupied until released"),
+        };
+        let kind = self.slot_cols.kind(slot_idx);
+        self.slots[slot_idx].state = SlotState::Free;
+        self.index_slot_freed(slot_idx, app_id, kind);
+        self.refresh_utilization();
     }
 
     fn handle_pr_complete(&mut self, slot_idx: usize) -> AppId {
@@ -1205,6 +1369,16 @@ impl SharingSimulator {
             SlotState::Reconfiguring { app, unit } => (app, unit),
             other => panic!("PR completion on a slot in state {other:?}"),
         };
+        if self
+            .fault
+            .as_mut()
+            .is_some_and(|f| f.schedule.next_pr_outcome())
+        {
+            return self.handle_pr_failed(slot_idx, app, unit);
+        }
+        if let Some(fault) = self.fault.as_mut() {
+            fault.pr_attempts[slot_idx] = 0;
+        }
         self.slots[slot_idx].state = SlotState::Loaded {
             app,
             unit,
@@ -1221,6 +1395,250 @@ impl SharingSimulator {
         );
         self.refresh_utilization();
         app
+    }
+
+    /// A PCAP bitstream load failed.  While retries remain the same bitstream
+    /// is re-driven through the board's serial PR path after a capped
+    /// exponential backoff (occupying the issuing core again, exactly like a
+    /// fresh load); once retries are exhausted the placement is abandoned and
+    /// the unit returns to the unplaced set for the policy to re-place.
+    fn handle_pr_failed(&mut self, slot_idx: usize, app_id: AppId, unit_idx: usize) -> AppId {
+        let now = self.now;
+        let slot_board = self.slot_cols.board(slot_idx);
+        let (attempt, backoff, retry) = {
+            let fault = self.fault.as_mut().expect("PR failure without fault state");
+            fault.stats.pr_failures += 1;
+            let attempt = fault.pr_attempts[slot_idx] + 1;
+            let backoff = fault.schedule.pr_backoff(attempt);
+            let retry = attempt <= fault.schedule.profile().max_pr_retries;
+            (attempt, backoff, retry)
+        };
+        self.trace.log(
+            now,
+            TraceKind::PrFailed,
+            Some(app_id.0),
+            Some(unit_idx as u32),
+            Some(self.slots[slot_idx].descriptor.id.0),
+            TraceDetail::PrFault { attempt },
+        );
+        if retry {
+            let board_cfg = &self.config.boards[slot_board];
+            let bitstream_kind = match self.slot_cols.kind(slot_idx) {
+                SlotKind::Big => BitstreamKind::BigPartial,
+                SlotKind::Little => BitstreamKind::LittlePartial,
+            };
+            let size = board_cfg.bitstream_sizes.size_of(bitstream_kind);
+            let sd_read = board_cfg.sd_card.read_duration(size);
+            let pcap_load = board_cfg.pcap.load_duration(size);
+            let window = self.pr_paths[slot_board].submit(now + backoff, sd_read + pcap_load);
+            let cores = &mut self.cores[slot_board];
+            let issuing_core = match cores.assignment {
+                CoreAssignment::SingleCore => &mut cores.sched,
+                CoreAssignment::DualCore => &mut cores.pr,
+            };
+            issuing_core.block(now + backoff, pcap_load);
+            let gen = {
+                let fault = self.fault.as_mut().expect("fault state present");
+                fault.pr_attempts[slot_idx] = attempt;
+                fault.stats.pr_retries += 1;
+                fault.slot_gen[slot_idx]
+            };
+            self.total_pr += 1;
+            self.apps.expect_mut(app_id).pr_count += 1;
+            self.events.push(
+                window.finish,
+                Event::PrComplete {
+                    slot: slot_idx,
+                    gen,
+                },
+            );
+            self.trace.log(
+                now,
+                TraceKind::PrRetried,
+                Some(app_id.0),
+                Some(unit_idx as u32),
+                Some(self.slots[slot_idx].descriptor.id.0),
+                TraceDetail::PrRetry { attempt, backoff },
+            );
+        } else {
+            // Out of retries: free the slot and hand the unit back to the
+            // scheduler (the next flush pass re-places it, possibly elsewhere).
+            {
+                let fault = self.fault.as_mut().expect("fault state present");
+                fault.stats.pr_gave_up += 1;
+                fault.stats.evictions += 1;
+                fault.pr_attempts[slot_idx] = 0;
+            }
+            let slot_kind = self.slot_cols.kind(slot_idx);
+            self.slots[slot_idx].state = SlotState::Free;
+            self.index_slot_freed(slot_idx, app_id, slot_kind);
+            self.apps.expect_mut(app_id).units[unit_idx].slot = None;
+            self.apps.note_unit_unplaced(app_id);
+            self.refresh_utilization();
+        }
+        app_id
+    }
+
+    /// The fault plane takes `board` offline: every occupant (reconfiguring or
+    /// loaded) is evicted back to the unplaced set with its in-flight
+    /// completion cancelled via the slot generation, the board's slots leave
+    /// the enabled mask, and a repair (`BoardUp`) is scheduled from the MTTR
+    /// stream.
+    fn handle_board_down(&mut self, board: usize) {
+        let now = self.now;
+        {
+            let fault = self
+                .fault
+                .as_mut()
+                .expect("board fault without fault state");
+            debug_assert!(
+                !fault.board_down[board],
+                "board failed twice without repair"
+            );
+            fault.board_down[board] = true;
+            fault.stats.board_failures += 1;
+        }
+        let was_enabled = self
+            .slots
+            .iter()
+            .any(|slot| slot.board.0 as usize == board && slot.enabled);
+        if was_enabled {
+            for slot in &mut self.slots {
+                if slot.board.0 as usize == board {
+                    slot.enabled = false;
+                }
+            }
+            self.index_board_enabled(board, false);
+        }
+        let mut evicted = 0u32;
+        for slot_idx in 0..self.slots.len() {
+            if self.slot_cols.board(slot_idx) != board {
+                continue;
+            }
+            if self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.slot_quarantined[slot_idx])
+            {
+                // Already evicted by a previous failure of this board; its
+                // stale event has not drained yet.
+                continue;
+            }
+            // `in_flight` tells whether the slot has a completion event in the
+            // queue: a reconfiguring slot awaits `PrComplete`, a busy slot
+            // awaits `ItemComplete`, an idle loaded slot awaits nothing.
+            let (app_id, unit_idx, in_flight) = match self.slots[slot_idx].state {
+                SlotState::Reconfiguring { app, unit } => (app, unit, true),
+                SlotState::Loaded { app, unit, busy } => (app, unit, busy),
+                SlotState::Free => continue,
+            };
+            self.apps.expect_mut(app_id).units[unit_idx].slot = None;
+            self.apps.note_unit_unplaced(app_id);
+            if in_flight {
+                // Detach the occupant now, free the slot when its stale event
+                // drains (see `release_quarantined`).
+                let fault = self.fault.as_mut().expect("fault state present");
+                fault.slot_gen[slot_idx] = fault.slot_gen[slot_idx].wrapping_add(1);
+                fault.slot_quarantined[slot_idx] = true;
+                fault.pr_attempts[slot_idx] = 0;
+            } else {
+                let slot_kind = self.slot_cols.kind(slot_idx);
+                self.slots[slot_idx].state = SlotState::Free;
+                self.index_slot_freed(slot_idx, app_id, slot_kind);
+                let fault = self.fault.as_mut().expect("fault state present");
+                fault.pr_attempts[slot_idx] = 0;
+            }
+            evicted += 1;
+        }
+        let repair = {
+            let fault = self.fault.as_mut().expect("fault state present");
+            fault.board_was_enabled[board] = was_enabled;
+            fault.stats.evictions += evicted as u64;
+            fault.schedule.board_repair(board)
+        };
+        self.events.push(now + repair, Event::BoardUp { board });
+        self.trace.log(
+            now,
+            TraceKind::BoardDown,
+            None,
+            None,
+            None,
+            TraceDetail::BoardFailed {
+                board: board as u32,
+                evicted,
+                repair,
+            },
+        );
+        self.refresh_utilization();
+    }
+
+    /// The fault plane repairs `board`: its slots rejoin the enabled mask (if
+    /// the board accepted grants when it failed) and the next failure timer is
+    /// armed — but only while the run still has work, so finite workloads
+    /// always drain the queue.
+    fn handle_board_up(&mut self, board: usize) {
+        let restore = {
+            let fault = self
+                .fault
+                .as_mut()
+                .expect("board repair without fault state");
+            debug_assert!(fault.board_down[board], "repair of a healthy board");
+            fault.board_down[board] = false;
+            fault.board_timer_armed[board] = false;
+            fault.stats.board_repairs += 1;
+            fault.board_was_enabled[board]
+        };
+        if restore {
+            for slot in &mut self.slots {
+                if slot.board.0 as usize == board {
+                    slot.enabled = true;
+                }
+            }
+            self.index_board_enabled(board, true);
+        }
+        self.trace.log(
+            self.now,
+            TraceKind::BoardUp,
+            None,
+            None,
+            None,
+            TraceDetail::BoardRepaired {
+                board: board as u32,
+            },
+        );
+        self.refresh_utilization();
+        self.arm_board_timers();
+    }
+
+    /// Arms one pending failure timer per healthy board, drawing the delay
+    /// from the board's MTTF stream.  Called from arrivals and repairs only,
+    /// and only while work remains (live applications or future arrivals), so
+    /// a finite run's queue drains once its workload does.
+    fn arm_board_timers(&mut self) {
+        let Some(fault) = self.fault.as_ref() else {
+            return;
+        };
+        if fault.schedule.profile().board_mttf.is_none() {
+            return;
+        }
+        if self.active.is_empty() && self.apps.len() >= self.pending_arrivals.len() {
+            return;
+        }
+        let now = self.now;
+        for board in 0..self.config.boards.len() {
+            let delay = {
+                let fault = self.fault.as_mut().expect("fault state present");
+                if fault.board_timer_armed[board] || fault.board_down[board] {
+                    continue;
+                }
+                let Some(delay) = fault.schedule.next_board_failure(board) else {
+                    continue;
+                };
+                fault.board_timer_armed[board] = true;
+                delay
+            };
+            self.events.push(now + delay, Event::BoardDown { board });
+        }
     }
 
     fn handle_item_complete(&mut self, slot_idx: usize) -> AppId {
@@ -1392,8 +1810,14 @@ impl SharingSimulator {
             *busy = true;
         }
         self.index_slot_busy(slot_idx);
-        self.events
-            .push(complete, Event::ItemComplete { slot: slot_idx });
+        let gen = self.slot_event_gen(slot_idx);
+        self.events.push(
+            complete,
+            Event::ItemComplete {
+                slot: slot_idx,
+                gen,
+            },
+        );
         self.trace.log(
             self.now,
             TraceKind::BatchLaunched,
@@ -1476,11 +1900,34 @@ impl SharingSimulator {
 
         let migrated_apps = self.active.len() as u32;
         let switching_cfg = self.config.switching.expect("switching configured");
-        let overhead = migration_overhead(
+        let mut overhead = migration_overhead(
             migrated_apps,
             switching_cfg.payload_per_app_bytes,
             &self.config.boards[self.active_board].aurora,
         );
+        // An Aurora link flap in progress on the source board stalls the
+        // migration payload for the flap's remainder.
+        let stall = match self.fault.as_mut() {
+            Some(fault) => fault.schedule.link_stall(self.active_board, self.now),
+            None => SimDuration::ZERO,
+        };
+        if !stall.is_zero() {
+            let fault = self.fault.as_mut().expect("stall implies fault state");
+            fault.stats.link_flaps += 1;
+            fault.stats.flap_stall += stall;
+            overhead += stall;
+            self.trace.log(
+                self.now,
+                TraceKind::LinkFlap,
+                None,
+                None,
+                None,
+                TraceDetail::LinkFlapped {
+                    link: self.active_board as u32,
+                    stall,
+                },
+            );
+        }
 
         for slot in &mut self.slots {
             if slot.board.0 as usize == self.active_board {

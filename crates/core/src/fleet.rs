@@ -56,6 +56,7 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
+use versaslot_sim::fault::{FaultProfile, FaultSchedule, FaultStats};
 use versaslot_sim::{
     merged_summary, LogHistogram, SimDuration, SimTime, Summary, Welford, WindowSummary,
 };
@@ -117,6 +118,11 @@ pub struct FleetConfig {
     pub forward_latency: SimDuration,
     /// How arrivals are generated (see [`FleetWorkload`]).
     pub workload: FleetWorkload,
+    /// Deterministic fault injection; `None` disables the fault plane on
+    /// every shard and on the forwarding fabric.  Each shard reseeds the
+    /// profile with its [`FleetConfig::shard_seed`] so shards fail
+    /// independently; link flaps additionally stall spillover forwards.
+    pub faults: Option<FaultProfile>,
 }
 
 impl FleetConfig {
@@ -138,6 +144,7 @@ impl FleetConfig {
             spillover_threshold: None,
             forward_latency: SimDuration::from_millis(50),
             workload: FleetWorkload::SharedStream,
+            faults: None,
         }
     }
 
@@ -197,6 +204,13 @@ impl FleetConfig {
         self
     }
 
+    /// Returns a copy with a fault profile attached to every shard and to the
+    /// forwarding fabric.
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Panics if the configuration is degenerate.
     pub fn validate(&self) {
         assert!(self.shards >= 1, "a fleet needs at least one shard");
@@ -212,6 +226,17 @@ impl FleetConfig {
         // The per-shard service configuration re-validates process, load,
         // batch range and window.
         self.shard_service_config(0).validate();
+        if let Some(faults) = &self.faults {
+            faults.validate();
+        }
+    }
+
+    /// The fault profile shard `shard` runs under: the fleet profile reseeded
+    /// with the shard's own seed, so shards fail independently while the whole
+    /// fleet stays replayable from [`FleetConfig::seed`].
+    pub fn shard_fault_profile(&self, shard: usize) -> Option<FaultProfile> {
+        self.faults
+            .map(|profile| profile.with_seed(profile.seed ^ self.shard_seed(shard)))
     }
 
     /// The deterministic seed of shard `shard` (SplitMix64 mix of the fleet
@@ -333,6 +358,12 @@ pub struct FleetEngine {
     /// Routed arrivals whose (possibly forwarding-delayed) delivery time lies
     /// beyond the epoch that routed them: in-flight cross-shard messages.
     deferred: Vec<(usize, AppArrival)>,
+    /// Fault schedule of the cross-shard forwarding fabric (one Aurora-style
+    /// link, distinct seed stream): flaps stall spillover forwards on top of
+    /// [`FleetConfig::forward_latency`].  `None` when the fault plane is off.
+    fabric: Option<FaultSchedule>,
+    /// What the forwarding fabric injected so far.
+    fabric_stats: FaultStats,
     arrivals_generated: u64,
     epochs_run: u64,
     finished: bool,
@@ -354,7 +385,10 @@ impl FleetEngine {
             let policy = kind
                 .policy()
                 .expect("the Baseline comparator is not supported in fleet mode");
-            let system = SystemConfig::single_board(kind.board());
+            let mut system = SystemConfig::single_board(kind.board());
+            if let Some(profile) = config.shard_fault_profile(index) {
+                system = system.with_faults(profile);
+            }
             let service_config = config.shard_service_config(index);
             let runner = match config.workload {
                 FleetWorkload::SharedStream => {
@@ -387,6 +421,14 @@ impl FleetEngine {
             config.seed,
             config.spillover_threshold,
         );
+        // The forwarding fabric draws from its own seed stream so adding a
+        // shard never perturbs the link-flap timeline.
+        let fabric = config.faults.map(|profile| {
+            FaultSchedule::new(
+                profile.with_seed(profile.seed ^ config.seed.rotate_left(17)),
+                1,
+            )
+        });
         FleetEngine {
             scheduler: kind.label().to_string(),
             config,
@@ -395,6 +437,8 @@ impl FleetEngine {
             driver,
             lookahead: None,
             deferred: Vec::new(),
+            fabric,
+            fabric_stats: FaultStats::default(),
             arrivals_generated: 0,
             epochs_run: 0,
             finished: false,
@@ -423,6 +467,17 @@ impl FleetEngine {
             .iter()
             .map(|shard| shard.runner.simulator().event_queue_grow_events())
             .collect()
+    }
+
+    /// What the fault plane injected across the whole fleet: the merge of
+    /// every shard's engine-level [`FaultStats`] plus the forwarding fabric's
+    /// link flaps.  All-zero when [`FleetConfig::faults`] is `None`.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.fabric_stats;
+        for shard in &self.shards {
+            stats.merge(&shard.runner.fault_stats());
+        }
+        stats
     }
 
     /// Per-shard policy scratch high-water marks (see
@@ -497,6 +552,8 @@ impl FleetEngine {
             driver,
             lookahead,
             deferred,
+            fabric,
+            fabric_stats,
             arrivals_generated,
             ..
         } = self;
@@ -527,11 +584,22 @@ impl FleetEngine {
             let decision = router.route(&arrival);
             let delivered = if decision.forwarded {
                 shards[decision.shard].forwarded_in += 1;
+                // A flapping fabric link stalls the forwarding message on top
+                // of the base hop latency (queries are monotone: the stream
+                // generates arrivals in time order).
+                let stall = match fabric.as_mut() {
+                    Some(schedule) => schedule.link_stall(0, arrival.arrival),
+                    None => SimDuration::ZERO,
+                };
+                if !stall.is_zero() {
+                    fabric_stats.link_flaps += 1;
+                    fabric_stats.flap_stall += stall;
+                }
                 AppArrival::new(
                     arrival.id,
                     arrival.app_index,
                     arrival.batch_size,
-                    arrival.arrival + config.forward_latency,
+                    arrival.arrival + config.forward_latency + stall,
                 )
             } else {
                 arrival
@@ -806,6 +874,62 @@ mod tests {
             "a policy re-allocated scratch after warm-up"
         );
         assert_eq!(engine.shard_grow_events(), vec![0; 3]);
+    }
+
+    #[test]
+    fn noop_fault_profile_keeps_fleet_reports_byte_identical() {
+        let plain = run_fleet(
+            Parallelism::Sequential,
+            SchedulerKind::VersaSlotBigLittle,
+            fleet_config(),
+        );
+        let mut engine = FleetEngine::new(
+            SchedulerKind::VersaSlotBigLittle,
+            fleet_config().with_faults(FaultProfile::new(5)),
+        );
+        while engine.advance_epoch(Parallelism::Sequential) {}
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&engine.report()).unwrap(),
+            "an empty fault schedule must not change a single fleet byte"
+        );
+        assert!(engine.fault_stats().is_zero());
+    }
+
+    #[test]
+    fn faulty_fleet_is_deterministic_and_merges_stats() {
+        // Heavy spillover (threshold 1) exercises the forwarding fabric; a
+        // high flap duty cycle guarantees stalled forwards, and PR failures
+        // exercise every shard's retry path.
+        let profile = FaultProfile::new(11)
+            .with_pr_failures(0.05)
+            .with_link_flaps(0.2, SimDuration::from_secs(5));
+        let config = fleet_config()
+            .with_spillover(1, SimDuration::from_secs(20))
+            .with_faults(profile);
+        let run = |parallelism| {
+            let mut engine = FleetEngine::new(SchedulerKind::VersaSlotBigLittle, config);
+            while engine.advance_epoch(parallelism) {}
+            engine
+        };
+        let sequential = run(Parallelism::Sequential);
+        let threaded = run(Parallelism::Threads(3));
+        assert_eq!(
+            serde_json::to_string(&sequential.report()).unwrap(),
+            serde_json::to_string(&threaded.report()).unwrap(),
+            "fault injection broke fleet determinism"
+        );
+        let stats = sequential.fault_stats();
+        assert_eq!(stats, threaded.fault_stats());
+        assert!(
+            stats.pr_failures > 0,
+            "no PR failed on any shard: {stats:?}"
+        );
+        assert!(stats.pr_retries > 0, "no PR retried: {stats:?}");
+        assert!(stats.link_flaps > 0, "no forward was stalled: {stats:?}");
+        assert!(!stats.flap_stall.is_zero());
+        // The allocation-free invariant survives fault events on every shard.
+        assert_eq!(sequential.shard_grow_events(), vec![0; 4]);
     }
 
     #[test]

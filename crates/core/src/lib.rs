@@ -48,6 +48,7 @@ pub mod bundling;
 pub mod config;
 pub mod dswitch;
 pub mod engine;
+pub mod fault;
 pub mod fleet;
 pub mod ilp;
 pub mod metrics;
@@ -59,6 +60,10 @@ pub mod service;
 
 pub use config::{SwitchingConfig, SystemConfig};
 pub use engine::SharingSimulator;
+pub use fault::{
+    format_robustness, run_robustness_matrix, run_service_cell_with_faults, FaultScenario,
+    RobustnessCell, RobustnessRanking, RobustnessReport,
+};
 pub use fleet::{run_fleet, FleetConfig, FleetEngine, FleetReport, FleetWorkload, ShardReport};
 pub use metrics::{AppRecord, RunReport};
 pub use par::{parallel_map, parallel_map_owned, Parallelism};

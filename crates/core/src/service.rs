@@ -165,7 +165,14 @@ impl ServiceConfig {
     /// load, empty batch range, zero window, or a zero/degenerate stop bound).
     pub fn validate(&self) {
         self.process.validate();
-        self.process.scaled(self.load); // panics on a non-positive load
+        // Reject NaN/zero/negative/infinite loads explicitly: a degenerate
+        // multiplier would otherwise silently produce an arrival process that
+        // never fires (or fires pathologically fast).
+        assert!(
+            self.load.is_finite() && self.load > 0.0,
+            "load multiplier must be positive and finite, got {}",
+            self.load
+        );
         let (lo, hi) = self.batch_range;
         assert!(lo >= 1 && lo <= hi, "invalid batch range {lo}..={hi}");
         assert!(!self.window.is_zero(), "window width must be positive");
@@ -354,6 +361,13 @@ impl ServiceRunner {
     /// Read access to the underlying simulator (for invariant checks).
     pub fn simulator(&self) -> &SharingSimulator {
         &self.sim
+    }
+
+    /// Counters of the engine's fault plane (all-zero when the system config
+    /// carries no fault profile).  Kept out of [`ServiceReport`] so fault-free
+    /// reports stay byte-identical to builds without the fault plane.
+    pub fn fault_stats(&self) -> versaslot_sim::fault::FaultStats {
+        self.sim.fault_stats()
     }
 
     /// The runner's configuration.
@@ -701,6 +715,48 @@ mod tests {
             BenchmarkApp::suite(),
             config,
         )
+    }
+
+    #[test]
+    #[should_panic(expected = "load multiplier must be positive and finite")]
+    fn validate_rejects_nan_load() {
+        ServiceConfig::new(poisson()).with_load(f64::NAN).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "load multiplier must be positive and finite")]
+    fn validate_rejects_negative_load() {
+        ServiceConfig::new(poisson()).with_load(-0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "load multiplier must be positive and finite")]
+    fn validate_rejects_zero_load() {
+        ServiceConfig::new(poisson()).with_load(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "load multiplier must be positive and finite")]
+    fn validate_rejects_infinite_load() {
+        ServiceConfig::new(poisson())
+            .with_load(f64::INFINITY)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn validate_rejects_zero_window() {
+        ServiceConfig::new(poisson())
+            .with_window(SimDuration::ZERO)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "event stop bound must be positive")]
+    fn validate_rejects_zero_event_stop() {
+        ServiceConfig::new(poisson())
+            .with_stop(StopCondition::Events(0))
+            .validate();
     }
 
     #[test]

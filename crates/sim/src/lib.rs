@@ -10,6 +10,8 @@
 //!   backed by a free-list slab arena so a pre-sized queue never allocates in
 //!   steady state (see the [`event`] module docs),
 //! * a seedable, reproducible random number generator ([`SimRng`]),
+//! * a deterministic, replayable fault schedule ([`fault`]) — PR failure
+//!   outcomes, board MTTF/MTTR timers, and link flap timelines,
 //! * summary statistics used by the experiment harnesses ([`stats`]),
 //! * time-weighted series for utilization accounting ([`series`]), and
 //! * a lightweight structured trace ([`trace`]) whose typed [`TraceDetail`]
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -43,6 +46,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{FaultProfile, FaultSchedule, FaultStats};
 pub use rng::SimRng;
 pub use series::TimeWeightedSeries;
 pub use stats::{

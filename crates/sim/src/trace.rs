@@ -58,12 +58,22 @@ pub enum TraceKind {
     AppMigrated,
     /// Free-form annotation.
     Note,
+    /// A partial reconfiguration failed at the PCAP (fault injection).
+    PrFailed,
+    /// A failed partial reconfiguration was resubmitted with backoff.
+    PrRetried,
+    /// A whole board failed; its slots went offline and occupants were evicted.
+    BoardDown,
+    /// A failed board finished repair and its slots came back online.
+    BoardUp,
+    /// An Aurora link flap stalled a cross-board transfer.
+    LinkFlap,
 }
 
 impl TraceKind {
     /// Number of trace-event categories (the size of the [`Trace`] counter
     /// array).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 19;
 
     /// All categories, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -81,6 +91,11 @@ impl TraceKind {
         TraceKind::SwitchTriggered,
         TraceKind::AppMigrated,
         TraceKind::Note,
+        TraceKind::PrFailed,
+        TraceKind::PrRetried,
+        TraceKind::BoardDown,
+        TraceKind::BoardUp,
+        TraceKind::LinkFlap,
     ];
 
     /// The category's discriminant, used to index the counter array.
@@ -106,6 +121,11 @@ impl fmt::Display for TraceKind {
             TraceKind::SwitchTriggered => "switch-triggered",
             TraceKind::AppMigrated => "app-migrated",
             TraceKind::Note => "note",
+            TraceKind::PrFailed => "pr-failed",
+            TraceKind::PrRetried => "pr-retried",
+            TraceKind::BoardDown => "board-down",
+            TraceKind::BoardUp => "board-up",
+            TraceKind::LinkFlap => "link-flap",
         };
         f.write_str(name)
     }
@@ -161,6 +181,40 @@ pub enum TraceDetail {
         /// Index of the board that became active.
         board: u32,
     },
+    /// A partial reconfiguration failed at the PCAP.
+    PrFault {
+        /// Which load attempt of the in-flight reconfiguration failed (1-based).
+        attempt: u32,
+    },
+    /// A failed partial reconfiguration was resubmitted through the serial PR
+    /// path after an exponential backoff.
+    PrRetry {
+        /// The attempt number being retried (1-based).
+        attempt: u32,
+        /// How long the retry waited before re-entering the PR queue.
+        backoff: SimDuration,
+    },
+    /// A board failed: its slots went offline and every occupant was evicted.
+    BoardFailed {
+        /// Index of the failed board.
+        board: u32,
+        /// Number of slot occupants evicted back to the unplaced set.
+        evicted: u32,
+        /// Scheduled repair delay (MTTR draw).
+        repair: SimDuration,
+    },
+    /// A failed board finished repair.
+    BoardRepaired {
+        /// Index of the repaired board.
+        board: u32,
+    },
+    /// An Aurora link flap stalled a transfer in flight.
+    LinkFlapped {
+        /// Index of the flapping link (board-local).
+        link: u32,
+        /// Extra latency charged to the in-flight transfer.
+        stall: SimDuration,
+    },
 }
 
 impl TraceDetail {
@@ -191,6 +245,19 @@ impl fmt::Display for TraceDetail {
             TraceDetail::Migrated { apps } => write!(f, "{apps} applications"),
             TraceDetail::SwitchComplete { board } => {
                 write!(f, "switch to board {board} complete")
+            }
+            TraceDetail::PrFault { attempt } => write!(f, "attempt {attempt} failed"),
+            TraceDetail::PrRetry { attempt, backoff } => {
+                write!(f, "retry {attempt} after {backoff}")
+            }
+            TraceDetail::BoardFailed {
+                board,
+                evicted,
+                repair,
+            } => write!(f, "board {board} down ({evicted} evicted, repair {repair})"),
+            TraceDetail::BoardRepaired { board } => write!(f, "board {board} repaired"),
+            TraceDetail::LinkFlapped { link, stall } => {
+                write!(f, "link {link} flapped (+{stall})")
             }
         }
     }
@@ -466,6 +533,61 @@ mod tests {
             assert_eq!(trace.count(kind), 1, "{kind}");
         }
         assert_eq!(trace.total(), TraceKind::COUNT as u64);
+    }
+
+    #[test]
+    fn every_kind_display_renders_uniquely() {
+        // Guards the fixed counter array against a variant added to the enum
+        // but forgotten in ALL/COUNT/Display: every kind must render to a
+        // distinct, non-empty name, and ALL must cover the array exactly.
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in TraceKind::ALL {
+            let text = kind.to_string();
+            assert!(!text.is_empty(), "{kind:?} renders empty");
+            assert!(seen.insert(text), "duplicate display name for {kind:?}");
+        }
+        assert_eq!(seen.len(), TraceKind::COUNT);
+        assert_eq!(TraceKind::ALL.len(), TraceKind::COUNT);
+    }
+
+    #[test]
+    fn fault_details_render_lazily_with_structured_fields() {
+        assert_eq!(
+            TraceDetail::PrFault { attempt: 2 }.to_string(),
+            "attempt 2 failed"
+        );
+        assert_eq!(
+            TraceDetail::PrRetry {
+                attempt: 3,
+                backoff: SimDuration::from_millis(4),
+            }
+            .to_string(),
+            format!("retry 3 after {}", SimDuration::from_millis(4))
+        );
+        assert_eq!(
+            TraceDetail::BoardFailed {
+                board: 1,
+                evicted: 5,
+                repair: SimDuration::from_secs(10),
+            }
+            .to_string(),
+            format!(
+                "board 1 down (5 evicted, repair {})",
+                SimDuration::from_secs(10)
+            )
+        );
+        assert_eq!(
+            TraceDetail::BoardRepaired { board: 1 }.to_string(),
+            "board 1 repaired"
+        );
+        assert_eq!(
+            TraceDetail::LinkFlapped {
+                link: 0,
+                stall: SimDuration::from_millis(7),
+            }
+            .to_string(),
+            format!("link 0 flapped (+{})", SimDuration::from_millis(7))
+        );
     }
 
     #[test]
