@@ -1,7 +1,8 @@
 //! Hot-path benchmark: one stress-congestion sequence through the sharing
 //! simulator — once through the batched same-timestamp drain, once through the
 //! per-event control — plus the service-mode steady state and the sharded
-//! fleet engine, tracking simulated events per wall-clock second for all four.
+//! fleet engine (standard and small-epoch barrier-stress variants), tracking
+//! simulated events per wall-clock second for all of them.
 //!
 //! Besides printing Criterion-style samples, the bench writes
 //! `BENCH_hotpath.json` at the repository root so successive PRs can follow
@@ -9,9 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use versaslot_bench::{
-    bench_baseline_path, fault_noop_hot_path_run, fleet_steady_state_throughput, hot_path_run,
-    hot_path_workload, per_event_hot_path_run, service_steady_state_throughput,
-    write_bench_baseline, BenchBaseline,
+    bench_baseline_path, fault_noop_hot_path_run, fleet_small_epoch_throughput,
+    fleet_steady_state_throughput, hot_path_run, hot_path_workload, per_event_hot_path_run,
+    service_steady_state_throughput, write_bench_baseline, BenchBaseline,
 };
 
 fn bench_hot_path(c: &mut Criterion) {
@@ -44,6 +45,13 @@ fn bench_hot_path(c: &mut Criterion) {
         fleet.wall_seconds * 1e3,
         fleet.events_per_sec
     );
+    let fleet_small_epoch = fleet_small_epoch_throughput();
+    eprintln!(
+        "fleet small-epoch (pooled barriers): {} simulated events in {:.1} ms — {:.0} events/s",
+        fleet_small_epoch.simulated_events,
+        fleet_small_epoch.wall_seconds * 1e3,
+        fleet_small_epoch.events_per_sec
+    );
     let fault_noop = fault_noop_hot_path_run(&workload);
     eprintln!(
         "empty-fault-schedule control: {} simulated events in {:.1} ms — {:.0} events/s",
@@ -56,6 +64,7 @@ fn bench_hot_path(c: &mut Criterion) {
         &per_event,
         &service,
         &fleet,
+        &fleet_small_epoch,
         &fault_noop,
     )) {
         eprintln!("could not write {}: {err}", bench_baseline_path());
@@ -75,6 +84,9 @@ fn bench_hot_path(c: &mut Criterion) {
     });
     group.bench_function("fleet_steady_state", |b| {
         b.iter(|| fleet_steady_state_throughput().simulated_events);
+    });
+    group.bench_function("fleet_small_epoch", |b| {
+        b.iter(|| fleet_small_epoch_throughput().simulated_events);
     });
     group.bench_function("fault_noop_control", |b| {
         b.iter(|| fault_noop_hot_path_run(&workload).simulated_events);

@@ -1,8 +1,10 @@
 //! CI gate for the scheduler hot path, the service steady state and the
 //! sharded fleet engine: rerun the throughput measurements and fail when
 //! `events_per_sec` (the batched drain), `per_event_events_per_sec` (the
-//! one-event-at-a-time control), `service_events_per_sec` or
-//! `fleet_events_per_sec` regresses more than 15% against the committed
+//! one-event-at-a-time control), `service_events_per_sec`,
+//! `fleet_events_per_sec`, `fleet_small_epoch_events_per_sec` (the pooled
+//! barrier-stress run with 100x shorter epochs) or
+//! `fault_noop_events_per_sec` regresses more than 15% against the committed
 //! `BENCH_hotpath.json`.  Additionally gates `fault_overhead_pct`: an empty
 //! fault schedule must not cost the batched hot path more than 5% events/s.
 //!
@@ -19,9 +21,9 @@
 use std::process::ExitCode;
 
 use versaslot_bench::{
-    bench_baseline_path, fault_noop_hot_path_run, fleet_steady_state_throughput, hot_path_run,
-    hot_path_workload, per_event_hot_path_run, service_steady_state_throughput,
-    write_bench_baseline, BenchBaseline, HotPathStats,
+    bench_baseline_path, fault_noop_hot_path_run, fleet_small_epoch_throughput,
+    fleet_steady_state_throughput, hot_path_run, hot_path_workload, per_event_hot_path_run,
+    service_steady_state_throughput, write_bench_baseline, BenchBaseline, HotPathStats,
 };
 
 /// Relative regression that fails the gate (ROADMAP: "regressions on the
@@ -112,6 +114,9 @@ fn main() -> ExitCode {
     let per_event = best_of("per-event control", || per_event_hot_path_run(&workload));
     let service = best_of("service steady state", service_steady_state_throughput);
     let fleet = best_of("fleet steady state", fleet_steady_state_throughput);
+    let fleet_small_epoch = best_of("fleet small-epoch (pooled barriers)", || {
+        fleet_small_epoch_throughput()
+    });
     let fault_noop = best_of("empty-fault-schedule control", || {
         fault_noop_hot_path_run(&workload)
     });
@@ -144,6 +149,11 @@ fn main() -> ExitCode {
                 gate_metric(&json, "per_event_events_per_sec", per_event.events_per_sec);
             let service_ok = gate_metric(&json, "service_events_per_sec", service.events_per_sec);
             let fleet_ok = gate_metric(&json, "fleet_events_per_sec", fleet.events_per_sec);
+            let fleet_small_epoch_ok = gate_metric(
+                &json,
+                "fleet_small_epoch_events_per_sec",
+                fleet_small_epoch.events_per_sec,
+            );
             let fault_noop_ok = gate_metric(
                 &json,
                 "fault_noop_events_per_sec",
@@ -153,6 +163,7 @@ fn main() -> ExitCode {
                 && per_event_ok
                 && service_ok
                 && fleet_ok
+                && fleet_small_epoch_ok
                 && fault_noop_ok
                 && fault_overhead_ok
             {
@@ -177,6 +188,7 @@ fn main() -> ExitCode {
             &per_event,
             &service,
             &fleet,
+            &fleet_small_epoch,
             &fault_noop,
         )) {
             Ok(()) => println!("refreshed {path}"),

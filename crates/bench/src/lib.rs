@@ -29,7 +29,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use versaslot_core::fleet::{run_fleet, FleetConfig};
+use versaslot_core::fleet::{run_fleet, FleetConfig, FleetEngine};
 use versaslot_core::metrics::{
     pooled_mean_response_ms, pooled_percentile_ms, relative_reduction, relative_tail, RunReport,
 };
@@ -794,9 +794,72 @@ pub fn fleet_steady_state_throughput() -> HotPathStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Small-epoch fleet throughput (barrier-overhead stress)
+// ---------------------------------------------------------------------------
+
+/// Worker count of the small-epoch barrier measurements.  Forced (rather than
+/// `Auto`) so the multi-threaded epoch machinery is exercised even on a
+/// single-core CI container — the same device the determinism tests use to
+/// force the threaded path.  With 4 shards this spawns one worker per shard.
+pub const FLEET_SMALL_EPOCH_WORKERS: usize = 4;
+
+/// The barrier-rate stress configuration: the same fleet as
+/// [`fleet_bench_config`] but with epochs two orders of magnitude shorter
+/// (2 s instead of 500 s), i.e. 5 000 epoch barriers over the same simulated
+/// horizon.  At this rate per-epoch fixed costs — thread spawn/join on the
+/// scoped path, the park/unpark rendezvous on the pooled path — dominate the
+/// gap between implementations, which is exactly what the gated
+/// `fleet_small_epoch_events_per_sec` metric is meant to expose.
+pub fn fleet_small_epoch_config() -> FleetConfig {
+    fleet_bench_config().with_epoch(SimDuration::from_secs(2))
+}
+
+/// Runs the small-epoch fleet ([`fleet_small_epoch_config`]) on the
+/// persistent shard-pinned worker pool at [`FLEET_SMALL_EPOCH_WORKERS`]
+/// workers and reports aggregate simulated events per wall-clock second —
+/// the sixth metric tracked in `BENCH_hotpath.json`.  Each of the 5 000
+/// epochs costs one atomic-countdown rendezvous instead of a full thread
+/// spawn/join cycle.
+pub fn fleet_small_epoch_throughput() -> HotPathStats {
+    let config = fleet_small_epoch_config();
+    let start = Instant::now();
+    let report = run_fleet(
+        Parallelism::Threads(FLEET_SMALL_EPOCH_WORKERS),
+        SchedulerKind::VersaSlotBigLittle,
+        config,
+    );
+    let wall_seconds = start.elapsed().as_secs_f64();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// The scoped-thread control for [`fleet_small_epoch_throughput`]: the same
+/// configuration and worker count driven epoch by epoch through
+/// [`FleetEngine::advance_epoch`], which pays a scoped spawn/join cycle per
+/// barrier.  Not committed to the baseline — the acceptance check compares
+/// the pooled metric against this on the same container.
+pub fn fleet_small_epoch_scoped_throughput() -> HotPathStats {
+    let config = fleet_small_epoch_config();
+    let mut engine = FleetEngine::new(SchedulerKind::VersaSlotBigLittle, config);
+    let start = Instant::now();
+    while engine.advance_epoch(Parallelism::Threads(FLEET_SMALL_EPOCH_WORKERS)) {}
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let report = engine.report();
+    HotPathStats {
+        simulated_events: report.events_processed,
+        wall_seconds,
+        events_per_sec: report.events_processed as f64 / wall_seconds.max(1e-9),
+    }
+}
+
 /// The committed benchmark baseline: the batch hot path, its per-event
 /// control, the service-mode steady state, and the sharded fleet steady
-/// state, tracked together in `BENCH_hotpath.json`.
+/// state (plus its small-epoch barrier-stress variant), tracked together in
+/// `BENCH_hotpath.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BenchBaseline {
     /// Simulated events of the batch hot-path run.
@@ -825,6 +888,15 @@ pub struct BenchBaseline {
     pub fleet_wall_seconds: f64,
     /// Fleet aggregate throughput (gated alongside `events_per_sec`).
     pub fleet_events_per_sec: f64,
+    /// Simulated events of the small-epoch (barrier-stress) fleet run, summed
+    /// over shards.
+    pub fleet_small_epoch_simulated_events: u64,
+    /// Wall-clock time of the small-epoch fleet run, in seconds.
+    pub fleet_small_epoch_wall_seconds: f64,
+    /// Small-epoch fleet throughput on the persistent worker pool (gated
+    /// alongside `events_per_sec`): 5 000 epoch barriers over the standard
+    /// fleet horizon, where per-epoch fixed costs dominate.
+    pub fleet_small_epoch_events_per_sec: f64,
     /// Simulated events of the empty-fault-schedule control run (identical to
     /// `simulated_events` by the strict-no-op contract).
     pub fault_noop_simulated_events: u64,
@@ -836,12 +908,13 @@ pub struct BenchBaseline {
 }
 
 impl BenchBaseline {
-    /// Combines the five throughput measurements into the committed format.
+    /// Combines the six throughput measurements into the committed format.
     pub fn new(
         hot_path: &HotPathStats,
         per_event: &HotPathStats,
         service: &HotPathStats,
         fleet: &HotPathStats,
+        fleet_small_epoch: &HotPathStats,
         fault_noop: &HotPathStats,
     ) -> Self {
         BenchBaseline {
@@ -857,6 +930,9 @@ impl BenchBaseline {
             fleet_simulated_events: fleet.simulated_events,
             fleet_wall_seconds: fleet.wall_seconds,
             fleet_events_per_sec: fleet.events_per_sec,
+            fleet_small_epoch_simulated_events: fleet_small_epoch.simulated_events,
+            fleet_small_epoch_wall_seconds: fleet_small_epoch.wall_seconds,
+            fleet_small_epoch_events_per_sec: fleet_small_epoch.events_per_sec,
             fault_noop_simulated_events: fault_noop.simulated_events,
             fault_noop_wall_seconds: fault_noop.wall_seconds,
             fault_noop_events_per_sec: fault_noop.events_per_sec,
@@ -1120,5 +1196,33 @@ mod tests {
         let sequential = run(Parallelism::Sequential);
         assert_eq!(sequential, run(Parallelism::Auto));
         assert_eq!(sequential, run(Parallelism::Threads(2)));
+    }
+
+    /// The small-epoch barrier-stress measurement and its scoped control run
+    /// the exact same simulation: both must match a sequential run byte for
+    /// byte, so their events/s gap is pure barrier overhead.
+    #[test]
+    fn small_epoch_pooled_and_scoped_paths_are_byte_identical() {
+        // A shortened horizon keeps the debug-mode test quick while still
+        // crossing many barriers (125 epochs).
+        let config = fleet_small_epoch_config().with_horizon(SimDuration::from_secs(250));
+        let kind = SchedulerKind::VersaSlotBigLittle;
+        let sequential = run_fleet(Parallelism::Sequential, kind, config);
+        let pooled = run_fleet(
+            Parallelism::Threads(FLEET_SMALL_EPOCH_WORKERS),
+            kind,
+            config,
+        );
+        let mut scoped = FleetEngine::new(kind, config);
+        while scoped.advance_epoch(Parallelism::Threads(FLEET_SMALL_EPOCH_WORKERS)) {}
+        let reference = serde_json::to_string(&sequential).expect("serialises");
+        assert_eq!(
+            reference,
+            serde_json::to_string(&pooled).expect("serialises")
+        );
+        assert_eq!(
+            reference,
+            serde_json::to_string(&scoped.report()).expect("serialises")
+        );
     }
 }

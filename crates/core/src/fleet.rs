@@ -21,11 +21,23 @@
 //!   messages: per-shard completion counters flow back to the router (the
 //!   "least-loaded" snapshots) and routed/forwarded arrivals flow forward to
 //!   the shards that will admit them.  Within an epoch every shard runs
-//!   independently via [`parallel_map_owned`], so a K-shard fleet uses up to
-//!   K cores — and, because routing is a pure function of barrier snapshots
-//!   and execution order is restored by input index, the fleet output is
-//!   **byte-identical** across `Parallelism::{Sequential, Threads, Auto}`
-//!   and from run to run.
+//!   independently — and, because routing is a pure function of barrier
+//!   snapshots and execution order is restored by shard index, the fleet
+//!   output is **byte-identical** across
+//!   `Parallelism::{Sequential, Threads, Auto}` and from run to run.
+//! * **Persistent shard-pinned workers.**  [`FleetEngine::run`] (and
+//!   [`run_fleet`]) execute epochs on a spawn-once [`WorkerPool`]: each pool
+//!   worker *takes ownership* of its shards (worker `w` owns shards `w`,
+//!   `w + workers`, …) for the whole run, so a shard spine crosses threads
+//!   zero times instead of once per epoch and stays cache-warm.  The barrier
+//!   is a lightweight rendezvous ([`EpochSync`]: one `Release` generation
+//!   bump + park/unpark countdown) and all router↔shard traffic moves through
+//!   preallocated, double-buffered [`ShardMailbox`]es — arrival batches in,
+//!   one atomic completion counter out, no locks on the event hot path and no
+//!   per-epoch allocation after the high-water mark.
+//!   [`FleetEngine::advance_epoch`] keeps the scoped
+//!   [`parallel_map_owned`] fan-out as the reference implementation the
+//!   pooled path is property-tested against.
 //! * **Mergeable metrics.**  [`FleetEngine::report`] folds the per-shard
 //!   accumulators with [`Welford::merge`] (exact moments) and
 //!   [`LogHistogram::merge`] (tail quantiles) into one fleet-wide
@@ -55,6 +67,11 @@
 //! assert!(report.completions > 0);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
 use serde::{Deserialize, Serialize};
 use versaslot_sim::fault::{FaultProfile, FaultSchedule, FaultStats};
 use versaslot_sim::{
@@ -64,7 +81,7 @@ use versaslot_workload::benchmarks::BenchmarkApp;
 use versaslot_workload::{AppArrival, ArrivalDriver, ArrivalProcess, Placement, ShardRouter};
 
 use crate::config::SystemConfig;
-use crate::par::{parallel_map_owned, Parallelism};
+use crate::par::{parallel_map_owned, Parallelism, WorkerPool};
 use crate::policy::Policy;
 use crate::runner::SchedulerKind;
 use crate::service::{ServiceConfig, ServiceReport, ServiceRunner, StopCondition};
@@ -269,16 +286,257 @@ impl FleetConfig {
     }
 }
 
-/// One shard: a full service spine plus its policy and epoch bookkeeping.
+/// One shard: a full service spine plus its policy and window timeline.
+///
+/// Deliberately free of router-side bookkeeping: everything the admission
+/// layer counts lives in the driver-owned [`ShardAdmission`] table, so a
+/// pinned pool worker can own the `ShardState` for a whole run while the
+/// driver keeps routing without touching it.
 struct ShardState {
     index: usize,
     runner: ServiceRunner,
     policy: Box<dyn Policy + Send>,
     windows: Vec<WindowSummary>,
-    /// Arrivals delivered to this shard by the admission layer.
+}
+
+impl ShardState {
+    /// Runs this shard's slice of one epoch: a `run_to_barrier` segment, or —
+    /// on the final epoch — the plain drive to the horizon stop plus the
+    /// window flush, so a segmented run is byte-identical to an unsegmented
+    /// one.  Shared verbatim by the scoped and pooled execution paths.
+    fn run_epoch(&mut self, barrier: SimTime, is_final: bool) {
+        let ShardState {
+            runner,
+            policy,
+            windows,
+            ..
+        } = self;
+        if is_final {
+            runner.drive(policy.as_mut(), &mut |w| windows.push(*w));
+            runner.flush_windows(&mut |w| windows.push(*w));
+        } else {
+            runner.run_to_barrier(policy.as_mut(), barrier, &mut |w| windows.push(*w));
+        }
+    }
+}
+
+/// Driver-side admission counters of one shard.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardAdmission {
+    /// Arrivals delivered to the shard by the admission layer.
     routed: u64,
     /// Of those, arrivals that reached it via spillover forwarding.
     forwarded_in: u64,
+}
+
+/// Worker commands carried by an epoch generation.
+const CMD_RUN: u8 = 0;
+/// Final epoch: drive to the horizon stop and flush the windows.
+const CMD_FINAL: u8 = 1;
+/// End of session: hand the pinned shards back and exit.
+const CMD_SHUTDOWN: u8 = 2;
+
+/// Preallocated router↔shard exchange buffers of one shard in a pooled run.
+///
+/// The two `inbox` buffers are **double-buffered by epoch parity**: the
+/// driver fills buffer `g % 2` before publishing generation `g + 1`, the
+/// pinned worker drains exactly that buffer, and both sides keep the `Vec`s'
+/// high-water capacity (`clear`/`drain`, never drop) so steady-state epochs
+/// allocate nothing.  Strict barrier alternation means each `Mutex` is always
+/// uncontended — it exists to stay inside `forbid(unsafe_code)` and to keep
+/// the door open for routing epoch `N + 1` while the shards still run epoch
+/// `N`.  Completions flow the other way through one atomic, the only
+/// shard→router exchange a barrier needs.
+pub struct ShardMailbox {
+    inbox: [Mutex<Vec<AppArrival>>; 2],
+    completions: AtomicU64,
+}
+
+impl ShardMailbox {
+    fn new() -> Self {
+        ShardMailbox {
+            inbox: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            completions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The epoch-barrier rendezvous of a pooled fleet run.
+///
+/// The driver publishes a generation by storing the barrier time, command and
+/// countdown (`Relaxed`) and then bumping `epoch` with a `Release` increment
+/// — the single publication point every worker pairs with an `Acquire` load.
+/// Workers run their shards, store completions (`Release`), count down
+/// `remaining` (`AcqRel`) and unpark the driver; the driver parks until the
+/// countdown hits zero.  Two parks per epoch replace K thread spawns + joins.
+pub struct EpochSync {
+    /// Generation counter; incrementing it publishes the fields below.
+    epoch: AtomicU64,
+    /// Barrier simulated time (µs) of the published epoch.
+    barrier_micros: AtomicU64,
+    /// [`CMD_RUN`] / [`CMD_FINAL`] / [`CMD_SHUTDOWN`].
+    command: AtomicU8,
+    /// Workers yet to acknowledge the published generation.
+    remaining: AtomicUsize,
+    /// Set when a worker's epoch body panicked; the driver re-panics.
+    poisoned: AtomicBool,
+    /// The driver thread to unpark on acknowledgement.
+    driver: Thread,
+}
+
+/// Shared state of one pooled fleet run: the shard hand-off cells, the
+/// mailboxes and the barrier.
+struct FleetSession {
+    /// Shard hand-off cells, indexed by shard.  Workers take their pinned
+    /// shards at session start and put them back at shutdown; in between a
+    /// cell is `None` and only its owner touches the shard.
+    cells: Vec<Mutex<Option<ShardState>>>,
+    mail: Vec<ShardMailbox>,
+    sync: EpochSync,
+    /// Per-worker thread handles, registered by each worker before its first
+    /// wait so the driver can unpark it.
+    worker_threads: Vec<Mutex<Option<Thread>>>,
+    workers: usize,
+}
+
+impl FleetSession {
+    fn new(shards: Vec<ShardState>, workers: usize, driver: Thread) -> Self {
+        let count = shards.len();
+        FleetSession {
+            cells: shards.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+            mail: (0..count).map(|_| ShardMailbox::new()).collect(),
+            sync: EpochSync {
+                epoch: AtomicU64::new(0),
+                barrier_micros: AtomicU64::new(0),
+                command: AtomicU8::new(CMD_RUN),
+                remaining: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+                driver,
+            },
+            worker_threads: (0..workers).map(|_| Mutex::new(None)).collect(),
+            workers,
+        }
+    }
+
+    /// Publishes the next generation to every worker (driver side).
+    fn publish(&self, command: u8, barrier_micros: u64) {
+        self.sync.command.store(command, Ordering::Relaxed);
+        self.sync
+            .barrier_micros
+            .store(barrier_micros, Ordering::Relaxed);
+        self.sync.remaining.store(self.workers, Ordering::Relaxed);
+        self.sync.epoch.fetch_add(1, Ordering::Release);
+        for slot in &self.worker_threads {
+            if let Some(worker) = slot.lock().expect("worker registry poisoned").as_ref() {
+                worker.unpark();
+            }
+        }
+    }
+
+    /// Parks the driver until every worker acknowledged the generation.
+    fn wait_barrier(&self) {
+        while self.sync.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::park();
+        }
+    }
+
+    /// Acknowledges the current generation (worker side).
+    fn ack(&self) {
+        self.sync.remaining.fetch_sub(1, Ordering::AcqRel);
+        self.sync.driver.unpark();
+    }
+
+    /// The body a pool worker runs for the whole session: take the pinned
+    /// shards, rendezvous once per epoch, hand the shards back at shutdown.
+    fn worker_session(self: &Arc<Self>, worker: usize) {
+        *self.worker_threads[worker]
+            .lock()
+            .expect("worker registry poisoned") = Some(std::thread::current());
+        // Pinned ownership: worker `w` owns shards `w`, `w + workers`, … for
+        // the whole run.  The shards move across threads exactly once (here)
+        // instead of once per epoch.
+        let mut shards: Vec<ShardState> = (worker..self.cells.len())
+            .step_by(self.workers)
+            .map(|index| {
+                self.cells[index]
+                    .lock()
+                    .expect("shard cell poisoned")
+                    .take()
+                    .expect("each shard cell is claimed by exactly one worker")
+            })
+            .collect();
+        let mut seen = 0u64;
+        loop {
+            let generation = loop {
+                let generation = self.sync.epoch.load(Ordering::Acquire);
+                if generation != seen {
+                    break generation;
+                }
+                std::thread::park();
+            };
+            seen = generation;
+            let command = self.sync.command.load(Ordering::Relaxed);
+            if command == CMD_SHUTDOWN {
+                for shard in shards.drain(..) {
+                    let index = shard.index;
+                    *self.cells[index].lock().expect("shard cell poisoned") = Some(shard);
+                }
+                self.ack();
+                return;
+            }
+            let barrier = SimTime::from_micros(self.sync.barrier_micros.load(Ordering::Relaxed));
+            let phase = ((generation - 1) % 2) as usize;
+            // A panicking shard must not leave the driver parked forever: the
+            // worker still acknowledges the barrier and the driver re-panics
+            // on the poisoned flag, after which the session guard shuts the
+            // pool workers down cleanly.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for shard in shards.iter_mut() {
+                    let mailbox = &self.mail[shard.index];
+                    {
+                        let mut inbox = mailbox.inbox[phase].lock().expect("inbox poisoned");
+                        shard.runner.enqueue_arrivals(inbox.drain(..));
+                    }
+                    shard.run_epoch(barrier, command == CMD_FINAL);
+                    mailbox
+                        .completions
+                        .store(shard.runner.completions(), Ordering::Release);
+                }
+            }));
+            if outcome.is_err() {
+                self.sync.poisoned.store(true, Ordering::Release);
+            }
+            self.ack();
+        }
+    }
+}
+
+/// Shuts the session down on every exit path — including the driver unwinding
+/// on a poisoned barrier — so pool workers never stay parked in a dead
+/// session and always hand their shards back before the pool joins them.
+struct SessionGuard<'a> {
+    session: &'a Arc<FleetSession>,
+    active: bool,
+}
+
+impl SessionGuard<'_> {
+    fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.active {
+            self.active = false;
+            self.session.publish(CMD_SHUTDOWN, 0);
+            self.session.wait_barrier();
+        }
+    }
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
 }
 
 /// Per-shard slice of a [`FleetReport`].
@@ -364,6 +622,13 @@ pub struct FleetEngine {
     fabric: Option<FaultSchedule>,
     /// What the forwarding fabric injected so far.
     fabric_stats: FaultStats,
+    /// Per-shard arrival batches of the epoch being routed.  Reused across
+    /// epochs with high-water retention (cleared by `drain`, never dropped),
+    /// so steady-state routing allocates nothing; see
+    /// [`FleetEngine::arrival_scratch_capacities`].
+    due: Vec<Vec<AppArrival>>,
+    /// Driver-side admission counters, indexed by shard.
+    admission: Vec<ShardAdmission>,
     arrivals_generated: u64,
     epochs_run: u64,
     finished: bool,
@@ -403,8 +668,6 @@ impl FleetEngine {
                 runner,
                 policy,
                 windows: Vec::new(),
-                routed: 0,
-                forwarded_in: 0,
             });
         }
         let driver = matches!(config.workload, FleetWorkload::SharedStream).then(|| {
@@ -439,6 +702,8 @@ impl FleetEngine {
             deferred: Vec::new(),
             fabric,
             fabric_stats: FaultStats::default(),
+            due: vec![Vec::new(); config.shards],
+            admission: vec![ShardAdmission::default(); config.shards],
             arrivals_generated: 0,
             epochs_run: 0,
             finished: false,
@@ -490,23 +755,38 @@ impl FleetEngine {
             .collect()
     }
 
-    /// Runs one epoch: delivers due cross-shard messages and newly routed
-    /// arrivals, executes every shard up to the next barrier in parallel, then
-    /// exchanges barrier snapshots.  Returns `false` once the horizon has been
-    /// reached (further calls are no-ops).
-    pub fn advance_epoch(&mut self, parallelism: Parallelism) -> bool {
-        if self.finished {
-            return false;
-        }
+    /// The epoch barrier after `epochs_run` epochs: `(barrier, is_final)`.
+    fn next_barrier(&self) -> (SimTime, bool) {
         let horizon_micros = self.config.horizon.as_micros();
         let end_micros = (self.epochs_run + 1)
             .saturating_mul(self.config.epoch.as_micros())
             .min(horizon_micros);
-        let barrier = SimTime::from_micros(end_micros);
-        let is_final = end_micros >= horizon_micros;
+        (
+            SimTime::from_micros(end_micros),
+            end_micros >= horizon_micros,
+        )
+    }
+
+    /// Runs one epoch on **scoped** threads: delivers due cross-shard messages
+    /// and newly routed arrivals, executes every shard up to the next barrier
+    /// via [`parallel_map_owned`], then exchanges barrier snapshots.  Returns
+    /// `false` once the horizon has been reached (further calls are no-ops).
+    ///
+    /// This is the reference implementation of an epoch — it pays a thread
+    /// spawn/join cycle per call; [`FleetEngine::run`] executes whole runs on
+    /// a persistent [`WorkerPool`] instead and is property-tested
+    /// byte-identical against this path.
+    pub fn advance_epoch(&mut self, parallelism: Parallelism) -> bool {
+        if self.finished {
+            return false;
+        }
+        let (barrier, is_final) = self.next_barrier();
 
         if self.driver.is_some() {
-            self.deliver_arrivals(barrier);
+            self.route_epoch(barrier);
+            for (shard, batch) in self.shards.iter_mut().zip(self.due.iter_mut()) {
+                shard.runner.enqueue_arrivals(batch.drain(..));
+            }
         }
 
         // Fan the shards out: each epoch segment is run_to_barrier; the final
@@ -514,18 +794,7 @@ impl FleetEngine {
         // a shard's segmented run is byte-identical to an unsegmented one.
         let shard_states = std::mem::take(&mut self.shards);
         self.shards = parallel_map_owned(parallelism, shard_states, |mut shard| {
-            let ShardState {
-                runner,
-                policy,
-                windows,
-                ..
-            } = &mut shard;
-            if is_final {
-                runner.drive(policy.as_mut(), &mut |w| windows.push(*w));
-                runner.flush_windows(&mut |w| windows.push(*w));
-            } else {
-                runner.run_to_barrier(policy.as_mut(), barrier, &mut |w| windows.push(*w));
-            }
+            shard.run_epoch(barrier, is_final);
             shard
         });
 
@@ -540,25 +809,144 @@ impl FleetEngine {
         !self.finished
     }
 
+    /// Runs the fleet to its horizon.  With more than one worker's worth of
+    /// parallelism this builds a persistent [`WorkerPool`] sized **once** by
+    /// [`Parallelism::pool_workers`] and drives it via
+    /// [`FleetEngine::run_on`]; otherwise it loops the sequential path.
+    pub fn run(&mut self, parallelism: Parallelism) {
+        let workers = parallelism.pool_workers(self.shards.len());
+        if workers <= 1 {
+            while self.advance_epoch(Parallelism::Sequential) {}
+        } else {
+            let pool = WorkerPool::new(workers);
+            self.run_on(&pool);
+        }
+    }
+
+    /// Runs the fleet to its horizon on an existing persistent pool (one
+    /// session of shard-pinned workers; see [`FleetEngine::run_epochs_on`]).
+    pub fn run_on(&mut self, pool: &WorkerPool) {
+        self.run_epochs_on(pool, u64::MAX);
+    }
+
+    /// Runs up to `max_epochs` epochs on a persistent pool and returns `true`
+    /// while the horizon has not been reached.
+    ///
+    /// One call is one **session**: the shards move into per-shard hand-off
+    /// cells, each participating worker takes pinned ownership of shards
+    /// `w, w + workers, …` for every epoch of the call, and the driver
+    /// rendezvouses with them through [`EpochSync`] and the double-buffered
+    /// [`ShardMailbox`]es.  At the end of the call (any exit path, including
+    /// an unwinding driver) the session shuts down and the workers hand every
+    /// shard back, so the engine can be resumed — on a pool, or sequentially —
+    /// and the pool can be dropped mid-run and still joins cleanly.  With at
+    /// most one participating worker the sequential path runs inline.
+    pub fn run_epochs_on(&mut self, pool: &WorkerPool, max_epochs: u64) -> bool {
+        if self.finished {
+            return false;
+        }
+        let workers = pool.workers().min(self.shards.len());
+        if workers <= 1 {
+            for _ in 0..max_epochs {
+                if !self.advance_epoch(Parallelism::Sequential) {
+                    break;
+                }
+            }
+            return !self.finished;
+        }
+
+        let session = Arc::new(FleetSession::new(
+            std::mem::take(&mut self.shards),
+            workers,
+            std::thread::current(),
+        ));
+        for worker in 0..workers {
+            let session = Arc::clone(&session);
+            pool.submit(worker, move |index| session.worker_session(index));
+        }
+        let guard = SessionGuard {
+            session: &session,
+            active: true,
+        };
+
+        let mut phase = 0usize;
+        for _ in 0..max_epochs {
+            if self.finished {
+                break;
+            }
+            let (barrier, is_final) = self.next_barrier();
+            if self.driver.is_some() {
+                self.route_epoch(barrier);
+                for (mailbox, batch) in session.mail.iter().zip(self.due.iter_mut()) {
+                    let mut inbox = mailbox.inbox[phase].lock().expect("inbox poisoned");
+                    inbox.clear();
+                    inbox.extend(batch.drain(..));
+                }
+            }
+            session.publish(
+                if is_final { CMD_FINAL } else { CMD_RUN },
+                barrier.as_micros(),
+            );
+            session.wait_barrier();
+            assert!(
+                !session.sync.poisoned.load(Ordering::Acquire),
+                "a fleet worker panicked while running its shards"
+            );
+            // Barrier snapshot exchange, in shard-index order — identical to
+            // the scoped path's fold.
+            for (index, mailbox) in session.mail.iter().enumerate() {
+                self.router
+                    .record_completions(index, mailbox.completions.load(Ordering::Acquire));
+            }
+            phase ^= 1;
+            self.epochs_run += 1;
+            self.finished = is_final;
+        }
+
+        guard.shutdown();
+        self.shards = session
+            .cells
+            .iter()
+            .map(|cell| {
+                cell.lock()
+                    .expect("shard cell poisoned")
+                    .take()
+                    .expect("every worker hands its shards back at shutdown")
+            })
+            .collect();
+        !self.finished
+    }
+
+    /// Current capacities of the reused per-shard arrival scratch buffers.
+    /// After warm-up these must be **stable**: routing retains the high-water
+    /// capacity across epochs and never reallocates in steady state (the
+    /// fleet-level analogue of [`crate::policy::ScratchMeter`]).
+    pub fn arrival_scratch_capacities(&self) -> Vec<usize> {
+        self.due.iter().map(Vec::capacity).collect()
+    }
+
     /// Pulls the shared stream up to `barrier`, routes every arrival, applies
-    /// forwarding latency to spilled-over ones, and enqueues the per-shard
-    /// delivery batches in (time, id) order.  Deliveries whose time lands past
-    /// the barrier stay in flight (`deferred`) until their epoch comes.
-    fn deliver_arrivals(&mut self, barrier: SimTime) {
+    /// forwarding latency to spilled-over ones, and leaves the per-shard
+    /// delivery batches in `self.due` in (time, id) order.  Deliveries whose
+    /// time lands past the barrier stay in flight (`deferred`) until their
+    /// epoch comes.  Touches no shard state, so it runs no matter who owns
+    /// the shards — scoped threads, pinned pool workers, or the caller.
+    fn route_epoch(&mut self, barrier: SimTime) {
         let Self {
             config,
-            shards,
             router,
             driver,
             lookahead,
             deferred,
             fabric,
             fabric_stats,
+            due,
+            admission,
             arrivals_generated,
             ..
         } = self;
         let driver = driver.as_mut().expect("shared-stream mode");
-        let mut due: Vec<Vec<AppArrival>> = vec![Vec::new(); shards.len()];
+        debug_assert!(due.iter().all(Vec::is_empty), "stale arrival batches");
 
         // In-flight messages due this epoch.
         deferred.retain(|(shard, arrival)| {
@@ -583,7 +971,7 @@ impl FleetEngine {
             *arrivals_generated += 1;
             let decision = router.route(&arrival);
             let delivered = if decision.forwarded {
-                shards[decision.shard].forwarded_in += 1;
+                admission[decision.shard].forwarded_in += 1;
                 // A flapping fabric link stalls the forwarding message on top
                 // of the base hop latency (queries are monotone: the stream
                 // generates arrivals in time order).
@@ -611,13 +999,12 @@ impl FleetEngine {
             }
         }
 
-        for (shard, mut batch) in shards.iter_mut().zip(due) {
+        for (batch, shard_admission) in due.iter_mut().zip(admission.iter_mut()) {
             // Forwarded stragglers from earlier epochs interleave with fresh
             // arrivals; ids are unique, so this order is a deterministic total
             // order and matches the injection protocol's time-monotonicity.
             batch.sort_by_key(|arrival| (arrival.arrival, arrival.id));
-            shard.routed += batch.len() as u64;
-            shard.runner.enqueue_arrivals(batch);
+            shard_admission.routed += batch.len() as u64;
         }
     }
 
@@ -648,10 +1035,11 @@ impl FleetEngine {
             blocked_events += service.blocked_events;
             end_time = end_time.max_of(service.end_time);
             undelivered += shard.runner.pending_routed() as u64;
+            let admission = self.admission[shard.index];
             shards.push(ShardReport {
                 shard: shard.index,
-                routed: shard.routed,
-                forwarded_in: shard.forwarded_in,
+                routed: admission.routed,
+                forwarded_in: admission.forwarded_in,
                 windows: shard.windows.clone(),
                 service,
             });
@@ -680,20 +1068,23 @@ impl FleetEngine {
 }
 
 /// Runs a whole fleet to its horizon and returns the report.  Convenience
-/// wrapper: create the engine, advance every epoch, fold the report.
+/// wrapper: create the engine, run it — on a persistent shard-pinned
+/// [`WorkerPool`] when `parallelism` allows more than one worker — and fold
+/// the report.
 pub fn run_fleet(
     parallelism: Parallelism,
     kind: SchedulerKind,
     config: FleetConfig,
 ) -> FleetReport {
     let mut engine = FleetEngine::new(kind, config);
-    while engine.advance_epoch(parallelism) {}
+    engine.run(parallelism);
     engine.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn fleet_config() -> FleetConfig {
         FleetConfig::new(4, ArrivalProcess::Poisson { rate_per_sec: 1.2 })
@@ -857,8 +1248,9 @@ mod tests {
     #[test]
     fn steady_state_epochs_keep_scratch_and_queues_stable() {
         // Warm the fleet up for several epochs, snapshot the policy scratch
-        // high-water marks, then run more epochs: steady state must not grow
-        // any scratch buffer or event queue on any shard.
+        // high-water marks and the router's arrival-scratch capacities, then
+        // run more epochs: steady state must not grow any scratch buffer,
+        // arrival batch or event queue on any shard.
         let config = FleetConfig::new(3, ArrivalProcess::Poisson { rate_per_sec: 0.9 })
             .with_horizon(SimDuration::from_secs(900))
             .with_epoch(SimDuration::from_secs(60));
@@ -867,13 +1259,105 @@ mod tests {
             assert!(engine.advance_epoch(Parallelism::Sequential));
         }
         let warmed = engine.shard_scratch_allocs();
+        let warmed_caps = engine.arrival_scratch_capacities();
+        assert!(
+            warmed_caps.iter().all(|&capacity| capacity > 0),
+            "warm-up routed nothing: {warmed_caps:?}"
+        );
         while engine.advance_epoch(Parallelism::Sequential) {}
         assert_eq!(
             engine.shard_scratch_allocs(),
             warmed,
             "a policy re-allocated scratch after warm-up"
         );
+        assert_eq!(
+            engine.arrival_scratch_capacities(),
+            warmed_caps,
+            "an arrival scratch buffer re-allocated after warm-up"
+        );
         assert_eq!(engine.shard_grow_events(), vec![0; 3]);
+    }
+
+    #[test]
+    fn pooled_fleet_run_is_consistent_and_allocation_free() {
+        // The pooled path must uphold the same invariants the scoped path
+        // does: admission accounting balances and no shard's event queue ever
+        // grows, even with heavy spillover traffic through the mailboxes.
+        let config = fleet_config().with_spillover(2, SimDuration::from_secs(10));
+        let pool = WorkerPool::new(4);
+        let mut engine = FleetEngine::new(SchedulerKind::VersaSlotBigLittle, config);
+        engine.run_on(&pool);
+        assert!(engine.is_finished());
+        let report = engine.report();
+        assert!(report.completions > 0);
+        assert!(report.forwarded > 0, "threshold 2 must forward something");
+        let routed_sum: u64 = report.shards.iter().map(|s| s.routed).sum();
+        assert_eq!(report.arrivals_generated, routed_sum + report.undelivered);
+        let forwarded_in: u64 = report.shards.iter().map(|s| s.forwarded_in).sum();
+        assert_eq!(report.forwarded, forwarded_in);
+        assert_eq!(engine.shard_grow_events(), vec![0; 4]);
+    }
+
+    #[test]
+    fn pooled_run_interrupted_mid_run_resumes_byte_identically() {
+        // A partial pooled session must hand every shard back, let its pool
+        // be dropped mid-run (workers join cleanly), and leave the engine in
+        // a state that resumes — pooled or sequentially — to the exact bytes
+        // of an uninterrupted sequential run.
+        let kind = SchedulerKind::VersaSlotBigLittle;
+        let reference = {
+            let mut engine = FleetEngine::new(kind, fleet_config());
+            while engine.advance_epoch(Parallelism::Sequential) {}
+            serde_json::to_string(&engine.report()).unwrap()
+        };
+        let mut engine = FleetEngine::new(kind, fleet_config());
+        {
+            let pool = WorkerPool::new(3);
+            assert!(engine.run_epochs_on(&pool, 2));
+            assert_eq!(engine.epochs_run(), 2);
+            // The pool drops here, mid-run: the test hanging would mean a
+            // worker stayed parked in the dead session.
+        }
+        let pool = WorkerPool::new(2);
+        assert!(engine.run_epochs_on(&pool, 1));
+        assert_eq!(engine.epochs_run(), 3);
+        engine.run(Parallelism::Sequential);
+        assert!(engine.is_finished());
+        assert_eq!(reference, serde_json::to_string(&engine.report()).unwrap());
+    }
+
+    proptest! {
+        /// The pooled epoch-barrier protocol is byte-identical to the scoped
+        /// reference implementation across shard counts (including more
+        /// shards than workers), epoch lengths and fault seeds.
+        #[test]
+        fn pooled_fleet_matches_scoped_fleet(
+            shards in prop::sample::select(vec![1usize, 2, 7]),
+            epoch_secs in prop::sample::select(vec![25u64, 40, 60]),
+            fault_seed in 0u64..1_000,
+        ) {
+            let profile = FaultProfile::new(fault_seed)
+                .with_pr_failures(0.05)
+                .with_link_flaps(0.1, SimDuration::from_secs(4));
+            let config = FleetConfig::new(shards, ArrivalProcess::Poisson { rate_per_sec: 0.6 })
+                .with_horizon(SimDuration::from_secs(100))
+                .with_epoch(SimDuration::from_secs(epoch_secs))
+                .with_window(SimDuration::from_secs(50))
+                .with_spillover(2, SimDuration::from_secs(10))
+                .with_faults(profile)
+                .with_seed(fault_seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+            let kind = SchedulerKind::VersaSlotBigLittle;
+            let mut scoped = FleetEngine::new(kind, config);
+            while scoped.advance_epoch(Parallelism::Threads(2)) {}
+            let pool = WorkerPool::new(2);
+            let mut pooled = FleetEngine::new(kind, config);
+            pooled.run_on(&pool);
+            prop_assert_eq!(
+                serde_json::to_string(&scoped.report()).unwrap(),
+                serde_json::to_string(&pooled.report()).unwrap()
+            );
+            prop_assert_eq!(scoped.fault_stats(), pooled.fault_stats());
+        }
     }
 
     #[test]

@@ -1,15 +1,47 @@
-//! Deterministic parallel fan-out for independent simulation runs.
+//! Deterministic parallel execution: scoped fan-out and the persistent
+//! [`WorkerPool`].
 //!
-//! The evaluation sweeps (scheduler × congestion × sequence) matrices of
-//! completely independent simulations, so the harness is embarrassingly
-//! parallel.  [`parallel_map`] runs a job list across scoped worker threads and
-//! returns results **in input order**, so a parallel sweep produces exactly the
-//! same output as a sequential one — determinism is checked by the equality
-//! tests in `versaslot-bench`.
+//! Two execution substrates live here, sharing one determinism contract
+//! (results are always collected in **input order**, so any parallel run is
+//! byte-identical to a sequential one):
+//!
+//! * **Scoped fan-out** — [`parallel_map`] / [`parallel_map_owned`] spawn
+//!   scoped worker threads for the duration of one job list and join them
+//!   before returning.  Right for one-shot sweeps; wrong for anything that
+//!   rendezvouses repeatedly, because every call pays a full thread
+//!   spawn/join cycle.
+//! * **The persistent pool** — [`WorkerPool`] spawns its workers **once** and
+//!   keeps them alive until the pool is dropped.  Work arrives over per-worker
+//!   channels; between jobs the workers block on their channel, costing
+//!   nothing.  The fleet engine pins one long-lived worker to each group of
+//!   shards for a whole run (see `core::fleet`), and the matrix sweeps reuse
+//!   one pool across hundreds of cells via [`WorkerPool::map`].
+//!
+//! # Pool lifecycle
+//!
+//! 1. **Spawn-once.**  [`WorkerPool::new`] spawns `workers` OS threads.
+//!    Callers size the pool with [`Parallelism::pool_workers`] — for
+//!    [`Parallelism::Auto`] that is `min(jobs, available cores)` computed
+//!    **once** at construction, never re-derived per epoch or per call.
+//! 2. **Sessions.**  [`WorkerPool::submit`] hands a worker a long-running job
+//!    (the fleet engine submits one *session* per worker that owns its pinned
+//!    shards across every epoch); [`WorkerPool::map`] runs a whole job list
+//!    and blocks until it completes.  Rendezvous inside a session is the
+//!    caller's protocol — the fleet uses an atomic epoch counter plus
+//!    [`std::thread::park`]/`unpark` and double-buffered mailboxes, so its
+//!    barrier costs two parks per epoch instead of K thread spawns.
+//! 3. **Shutdown.**  Dropping the pool closes every channel; workers drain
+//!    what they hold and exit, and the drop joins them.  A panicking job never
+//!    kills its worker (the pool catches it and the submitting side observes
+//!    the failure through the job's own completion accounting), so the pool
+//!    always joins cleanly — including when a fleet run panics mid-epoch.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// How a job list is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +68,18 @@ impl Parallelism {
                 .min(jobs),
             Parallelism::Threads(n) => n.max(1).min(jobs),
         }
+    }
+
+    /// Number of **persistent** workers a [`WorkerPool`] should be built with
+    /// for `jobs` parallel units (fleet shards, matrix cells).
+    ///
+    /// Identical sizing to the scoped fan-out, but intended to be called
+    /// exactly once at pool construction: under [`Parallelism::Auto`] the
+    /// `available_parallelism()` probe happens here and never again, where the
+    /// scoped path re-derives it on every call (once per epoch, in the old
+    /// fleet loop).
+    pub fn pool_workers(self, jobs: usize) -> usize {
+        self.workers(jobs)
     }
 }
 
@@ -89,14 +133,15 @@ where
 /// [`parallel_map`] for **owned** items: consumes `items` and passes each by
 /// value, returning the results in input order.
 ///
-/// The fleet engine needs this shape — each shard *is* the mutable state being
-/// worked on (a whole simulator spine), so the closure must own it for the
-/// duration of the epoch and hand it back inside the result.  The sequential
-/// path is a plain `into_iter().map()`; the parallel path parks each item in a
-/// one-shot `Mutex<Option<T>>` cell so worker threads can claim items by
-/// atomic cursor without unsafe code.  The same determinism contract as
-/// [`parallel_map`] applies: results are reordered by input index, so output
-/// is independent of scheduling.
+/// The fleet engine's reference (scoped) execution path needs this shape —
+/// each shard *is* the mutable state being worked on (a whole simulator
+/// spine), so the closure must own it for the duration of the epoch and hand
+/// it back inside the result.  The sequential path is a plain
+/// `into_iter().map()`; the parallel path parks each item in a one-shot
+/// `Mutex<Option<T>>` cell so worker threads can claim items by atomic cursor
+/// without unsafe code.  The same determinism contract as [`parallel_map`]
+/// applies: results are reordered by input index, so output is independent of
+/// scheduling.
 pub fn parallel_map_owned<T, R, F>(parallelism: Parallelism, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -143,6 +188,195 @@ where
         .expect("worker thread panicked while holding the result lock");
     results.sort_by_key(|(idx, _)| *idx);
     results.into_iter().map(|(_, result)| result).collect()
+}
+
+/// A job queued onto a pool worker.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// A pool of persistent worker threads (see the [module docs](self) for the
+/// lifecycle).
+///
+/// Workers are spawned once at construction and live until the pool is
+/// dropped; between jobs they block on their submission channel.  Jobs are
+/// addressed to a **specific** worker ([`WorkerPool::submit`]) so callers can
+/// pin long-lived state — the fleet engine pins each shard's spine to one
+/// worker for a whole run, moving it across threads zero times instead of
+/// once per epoch.  [`WorkerPool::map`] layers the familiar
+/// input-order-deterministic map on top for stateless job lists.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Shared state of one [`WorkerPool::map`] call.
+struct MapShared<T, R, F> {
+    f: F,
+    cursor: AtomicUsize,
+    items: Vec<Mutex<Option<T>>>,
+    results: Vec<Mutex<Option<R>>>,
+    remaining: AtomicUsize,
+    poisoned: AtomicBool,
+    driver: std::thread::Thread,
+}
+
+/// Counts a map participant as finished when dropped — including by unwind,
+/// so a panicking job still wakes the driver instead of deadlocking it.
+struct MapCountdown<'a> {
+    remaining: &'a AtomicUsize,
+    poisoned: &'a AtomicBool,
+    driver: &'a std::thread::Thread,
+}
+
+impl Drop for MapCountdown<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        self.driver.unpark();
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` persistent threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("versaslot-pool-{index}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking job must not take the worker down with
+                        // it: the submitting side observes the failure through
+                        // the job's own completion accounting (countdown
+                        // guards), and the worker lives on for the next job.
+                        let _ = catch_unwind(AssertUnwindSafe(|| job(index)));
+                    }
+                })
+                .expect("spawning a pool worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Builds a pool sized by [`Parallelism::pool_workers`] for `jobs`
+    /// parallel units.
+    pub fn for_parallelism(parallelism: Parallelism, jobs: usize) -> Self {
+        WorkerPool::new(parallelism.pool_workers(jobs))
+    }
+
+    /// Number of persistent workers.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queues `job` onto worker `worker` (jobs on one worker run in
+    /// submission order).  The job receives the worker's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn submit(&self, worker: usize, job: impl FnOnce(usize) + Send + 'static) {
+        self.senders[worker]
+            .send(Box::new(job))
+            .expect("pool workers outlive the pool handle");
+    }
+
+    /// Applies `f` to every item, on the persistent workers, returning results
+    /// in input order — [`parallel_map_owned`] semantics without the per-call
+    /// thread spawn/join cycle, so repeated sweeps (service matrices,
+    /// robustness grids) amortise thread creation across every call.
+    ///
+    /// Items are claimed by atomic cursor, results are slotted by input index,
+    /// and the caller parks until the last participant counts down.  With one
+    /// worker (or at most one item) the map runs inline on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invocation of `f` panicked (the pool itself survives and
+    /// stays usable).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        if self.workers() <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let participants = self.workers().min(items.len());
+        let len = items.len();
+        let shared = Arc::new(MapShared {
+            f,
+            cursor: AtomicUsize::new(0),
+            items: items
+                .into_iter()
+                .map(|item| Mutex::new(Some(item)))
+                .collect(),
+            results: (0..len).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(participants),
+            poisoned: AtomicBool::new(false),
+            driver: std::thread::current(),
+        });
+        for worker in 0..participants {
+            let shared = Arc::clone(&shared);
+            self.submit(worker, move |_| {
+                let _countdown = MapCountdown {
+                    remaining: &shared.remaining,
+                    poisoned: &shared.poisoned,
+                    driver: &shared.driver,
+                };
+                loop {
+                    let idx = shared.cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = shared.items.get(idx) else {
+                        break;
+                    };
+                    let item = cell
+                        .lock()
+                        .expect("item cells are touched by exactly one claimant")
+                        .take()
+                        .expect("the atomic cursor claims each item exactly once");
+                    let result = (shared.f)(item);
+                    *shared.results[idx]
+                        .lock()
+                        .expect("result cells are touched by exactly one claimant") = Some(result);
+                }
+            });
+        }
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::park();
+        }
+        assert!(
+            !shared.poisoned.load(Ordering::Acquire),
+            "a WorkerPool::map job panicked"
+        );
+        shared
+            .results
+            .iter()
+            .map(|cell| {
+                cell.lock()
+                    .expect("all workers have finished")
+                    .take()
+                    .expect("every claimed item produced a result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels lets each worker drain what it holds and exit;
+        // joining ignores worker panics (job panics were already caught, and a
+        // double panic during unwind would abort).
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +454,83 @@ mod tests {
             x
         });
         assert_eq!(results, items);
+    }
+
+    #[test]
+    fn pool_map_matches_scoped_map_across_worker_counts() {
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(11);
+        let items = || (0..37).collect::<Vec<u64>>();
+        let sequential = parallel_map_owned(Parallelism::Sequential, items(), f);
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.map(items(), f), sequential, "{workers} workers");
+            // Reuse: a second map on the same (still-alive) workers agrees too.
+            assert_eq!(pool.map(items(), f), sequential, "{workers} workers, reuse");
+        }
+        let pool = WorkerPool::new(3);
+        assert!(pool.map(Vec::new(), f).is_empty());
+    }
+
+    #[test]
+    fn pool_sizing_derives_from_parallelism_once() {
+        assert_eq!(Parallelism::Sequential.pool_workers(8), 1);
+        assert_eq!(Parallelism::Threads(4).pool_workers(8), 4);
+        assert_eq!(Parallelism::Threads(4).pool_workers(2), 2, "capped by jobs");
+        assert_eq!(Parallelism::Threads(0).pool_workers(8), 1, "at least one");
+        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        assert_eq!(Parallelism::Auto.pool_workers(usize::MAX), cores);
+        assert_eq!(
+            WorkerPool::for_parallelism(Parallelism::Threads(5), 3).workers(),
+            3
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_and_joins_cleanly() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..16).collect::<Vec<u64>>(), |x| {
+                if x == 7 {
+                    panic!("job 7 exploded");
+                }
+                x * 2
+            })
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // The workers survived: the pool still maps correctly afterwards...
+        let doubled = pool.map((0..16).collect::<Vec<u64>>(), |x| x * 2);
+        assert_eq!(doubled, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+        // ...and dropping it joins without hanging (the test finishing is the
+        // assertion).
+        drop(pool);
+    }
+
+    #[test]
+    fn pinned_submissions_run_on_their_worker_in_order() {
+        let pool = WorkerPool::new(3);
+        let log: Arc<Mutex<Vec<(usize, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        for step in 0..4u32 {
+            for worker in 0..pool.workers() {
+                let log = Arc::clone(&log);
+                let done = Arc::clone(&done);
+                pool.submit(worker, move |index| {
+                    log.lock().unwrap().push((index, step));
+                    done.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+        }
+        while done.load(Ordering::Acquire) < 12 {
+            std::thread::yield_now();
+        }
+        let log = log.lock().unwrap();
+        for worker in 0..3 {
+            let steps: Vec<u32> = log
+                .iter()
+                .filter(|(index, _)| *index == worker)
+                .map(|(_, step)| *step)
+                .collect();
+            assert_eq!(steps, vec![0, 1, 2, 3], "worker {worker} ran out of order");
+        }
     }
 }
